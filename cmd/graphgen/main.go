@@ -1,0 +1,131 @@
+// Command graphgen emits generated workloads as Datalog program files
+// consumable by mcq: the base facts, the canonical same-generation
+// rules, and the query goal.
+//
+// Usage:
+//
+//	graphgen -shape lasso -n 32 > lasso.dl
+//	graphgen -shape random -n 20 -seed 7 -out random.dl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"magiccounting/internal/core"
+	"magiccounting/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "graphgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("graphgen", flag.ContinueOnError)
+	shape := fs.String("shape", "chain",
+		"workload shape: chain, tree, grid, shortcut, lasso, cycle, frontier, frontier-cyclic, comb, cycletail, random, dag, fig1, fig2")
+	n := fs.Int("n", 16, "scale parameter")
+	seed := fs.Int64("seed", 1, "seed for random shapes")
+	outPath := fs.String("out", "", "output file (default stdout)")
+	dot := fs.Bool("dot", false, "emit the classified magic graph as Graphviz DOT instead of Datalog")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	q, err := generate(*shape, *n, *seed)
+	if err != nil {
+		return err
+	}
+	out := stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	if *dot {
+		return q.WriteMagicGraphDOT(out)
+	}
+	return emit(out, *shape, q)
+}
+
+func generate(shape string, n int, seed int64) (core.Query, error) {
+	switch shape {
+	case "chain":
+		return workload.Chain(n), nil
+	case "tree":
+		depth := 2
+		for total := 3; total < n; total = total*2 + 1 {
+			depth++
+		}
+		return workload.Tree(2, depth), nil
+	case "grid":
+		side := 2
+		for side*side < n {
+			side++
+		}
+		return workload.Grid(side, side), nil
+	case "shortcut":
+		return workload.ShortcutChain(n, 3), nil
+	case "lasso":
+		return workload.Lasso(n/2, n-n/2), nil
+	case "cycle":
+		return workload.Cycle(n), nil
+	case "frontier":
+		return workload.SingleFrontier(n, 10, false), nil
+	case "frontier-cyclic":
+		return workload.SingleFrontier(n, 10, true), nil
+	case "comb":
+		return workload.Comb(n), nil
+	case "cycletail":
+		return workload.CycleTail(n, 6), nil
+	case "random":
+		return workload.Random(seed, n, n), nil
+	case "dag":
+		return workload.RandomDAG(seed, n/4+2, 4, 0.3), nil
+	case "fig1":
+		return workload.PaperFig1(), nil
+	case "fig2":
+		return workload.PaperFig2(), nil
+	default:
+		return core.Query{}, fmt.Errorf("unknown shape %q", shape)
+	}
+}
+
+// emit writes the query as a canonical Datalog program over l/e/r (or
+// the same-generation form when L and R coincide).
+func emit(w io.Writer, shape string, q core.Query) error {
+	fmt.Fprintf(w, "%% generated workload: shape=%s\n", shape)
+	fmt.Fprintf(w, "%% magic graph: %s\n", describe(q))
+	for _, p := range q.L {
+		fmt.Fprintf(w, "l(%s, %s).\n", p.From, p.To)
+	}
+	for _, p := range q.E {
+		fmt.Fprintf(w, "e(%s, %s).\n", p.From, p.To)
+	}
+	for _, p := range q.R {
+		fmt.Fprintf(w, "r(%s, %s).\n", p.From, p.To)
+	}
+	fmt.Fprintln(w, "p(X, Y) :- e(X, Y).")
+	fmt.Fprintln(w, "p(X, Y) :- l(X, X1), p(X1, Y1), r(Y, Y1).")
+	fmt.Fprintf(w, "?- p(%s, Y).\n", q.Source)
+	return nil
+}
+
+func describe(q core.Query) string {
+	p := q.Params()
+	class := "regular"
+	switch {
+	case p.Cyclic:
+		class = "cyclic"
+	case !p.Regular:
+		class = "acyclic non-regular"
+	}
+	return fmt.Sprintf("%s, nL=%d mL=%d nR=%d mR=%d", class, p.NL, p.ML, p.NR, p.MR)
+}

@@ -1,0 +1,90 @@
+// Command mcbench regenerates the paper's evaluation artifacts: one
+// experiment per table and figure, printed as aligned text tables with
+// measured tuple-retrieval costs next to the Θ formulas.
+//
+// Usage:
+//
+//	mcbench                       # run everything at default sizes
+//	mcbench -experiment tab1      # a single table
+//	mcbench -sizes 32,64,128      # a custom sweep
+//	mcbench -o results.txt        # write to a file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"magiccounting/internal/harness"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mcbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("mcbench", flag.ContinueOnError)
+	experiment := fs.String("experiment", "all", "experiment to run: all, tab1..tab5, fig1..fig3, fig3-dot")
+	sizesFlag := fs.String("sizes", "", "comma-separated sweep sizes (default 16,32,64)")
+	outPath := fs.String("o", "", "write results to this file instead of stdout")
+	format := fs.String("format", "text", "output format: text or json")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sizes := harness.DefaultSizes
+	if *sizesFlag != "" {
+		sizes = nil
+		for _, s := range strings.Split(*sizesFlag, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n <= 0 {
+				return fmt.Errorf("bad size %q", s)
+			}
+			sizes = append(sizes, n)
+		}
+	}
+	out := stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	if *experiment == "fig3-dot" {
+		return harness.WriteHierarchyDOT(out)
+	}
+	var tables []*harness.Table
+	if *experiment == "all" {
+		for _, id := range []string{"tab1", "tab2", "tab3", "tab4", "tab5", "fig1", "fig2", "fig3"} {
+			t, err := harness.ByID(id, sizes)
+			if err != nil {
+				return err
+			}
+			tables = append(tables, t)
+		}
+	} else {
+		t, err := harness.ByID(*experiment, sizes)
+		if err != nil {
+			return err
+		}
+		tables = append(tables, t)
+	}
+	switch *format {
+	case "text":
+		for _, t := range tables {
+			t.Render(out)
+		}
+		return nil
+	case "json":
+		return harness.WriteJSON(out, tables)
+	default:
+		return fmt.Errorf("unknown format %q (want text or json)", *format)
+	}
+}

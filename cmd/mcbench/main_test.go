@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSingleExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-experiment", "tab2", "-sizes", "8,16"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Table 2") || !strings.Contains(out, "mc-basic-ind") {
+		t.Fatalf("output incomplete:\n%s", out)
+	}
+}
+
+func TestAllExperiments(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-sizes", "8,12"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table 1", "Table 5", "Figure 1", "Figure 2", "Figure 3"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %s in output", want)
+		}
+	}
+}
+
+func TestOutputFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.txt")
+	var buf bytes.Buffer
+	if err := run([]string{"-experiment", "fig2", "-o", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Figure 2") {
+		t.Fatalf("file content wrong: %s", data)
+	}
+	if buf.Len() != 0 {
+		t.Fatal("stdout should be empty when -o is used")
+	}
+}
+
+func TestJSONFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-experiment", "fig2", "-format", "json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"id": "Figure 2"`) {
+		t.Fatalf("json output wrong:\n%s", buf.String())
+	}
+}
+
+func TestFig3DOT(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-experiment", "fig3-dot"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "fig3_hierarchy") {
+		t.Fatalf("dot output wrong:\n%s", buf.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-experiment", "nosuch"}, &buf); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+	if err := run([]string{"-sizes", "abc"}, &buf); err == nil {
+		t.Error("bad sizes should fail")
+	}
+	if err := run([]string{"-sizes", "0"}, &buf); err == nil {
+		t.Error("non-positive size should fail")
+	}
+	if err := run([]string{"-experiment", "fig2", "-format", "yaml"}, &buf); err == nil {
+		t.Error("unknown format should fail")
+	}
+}

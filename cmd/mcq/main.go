@@ -1,0 +1,210 @@
+// Command mcq evaluates a Datalog query file with a selectable
+// method: the generic naive/seminaive engine, the magic-sets or
+// counting rewrites, or — for canonical strongly linear queries — any
+// member of the magic counting family, run either on the specialized
+// core solver or as a rewritten program on the generic engine.
+//
+// Usage:
+//
+//	mcq [flags] program.dl
+//
+// The program file holds facts, rules, and one ?- query. Example:
+//
+//	up(a, b). up(b, c).
+//	sg(X, Y) :- person(X), X = Y.
+//	sg(X, Y) :- up(X, X1), sg(X1, Y1), up(Y, Y1).
+//	?- sg(a, Y).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"magiccounting/internal/core"
+	"magiccounting/internal/datalog"
+	"magiccounting/internal/engine"
+	"magiccounting/internal/harness"
+	"magiccounting/internal/relation"
+	"magiccounting/internal/rewrite"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mcq:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("mcq", flag.ContinueOnError)
+	method := fs.String("method", "seminaive",
+		"evaluation method: naive, seminaive, magic-rewrite, counting-rewrite,\n"+
+			"any core method ("+strings.Join(harness.MethodNames(), ", ")+"),\n"+
+			"or mc-<strategy>-<mode>-rewrite to run magic counting on the generic engine")
+	showStats := fs.Bool("stats", false, "print cost statistics")
+	maxIter := fs.Int("max-iterations", engine.DefaultMaxIterations, "fixpoint iteration guard")
+	interactive := fs.Bool("i", false, "interactive session (reads clauses and queries from stdin)")
+	explain := fs.String("explain", "", "explain a magic counting run instead of just answering: <strategy>-<mode>, e.g. multiple-int")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *interactive {
+		if fs.NArg() != 0 {
+			return fmt.Errorf("interactive mode takes no file argument")
+		}
+		return repl(os.Stdin, out, *method, *maxIter)
+	}
+	if fs.NArg() < 1 {
+		return fmt.Errorf("expected at least one program file")
+	}
+	// Several files concatenate: rules in one, generated facts in
+	// another (see cmd/graphgen).
+	prog := &datalog.Program{}
+	for _, path := range fs.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		chunk, err := datalog.Parse(string(src))
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		prog.Facts = append(prog.Facts, chunk.Facts...)
+		prog.Rules = append(prog.Rules, chunk.Rules...)
+		prog.Queries = append(prog.Queries, chunk.Queries...)
+	}
+	if len(prog.Queries) != 1 {
+		return fmt.Errorf("program must contain exactly one ?- query, found %d", len(prog.Queries))
+	}
+	goal := prog.Queries[0]
+	if *explain != "" {
+		strategy, mode, err := parseMCName("mc-" + *explain)
+		if err != nil {
+			return err
+		}
+		q, _, err := rewrite.ExtractQuery(prog, goal)
+		if err != nil {
+			return err
+		}
+		return core.Explain(out, q, strategy, mode)
+	}
+	return evaluate(prog, goal, *method, *showStats, *maxIter, out)
+}
+
+func evaluate(prog *datalog.Program, goal datalog.Atom, method string, showStats bool, maxIter int, out io.Writer) error {
+	opts := engine.Options{MaxIterations: maxIter}
+	switch {
+	case method == "naive" || method == "seminaive":
+		opts.Naive = method == "naive"
+		return runEngine(prog, goal, opts, showStats, out)
+	case method == "magic-rewrite":
+		rewritten, renamed, err := rewrite.MagicSetsForQuery(prog, goal)
+		if err != nil {
+			return err
+		}
+		return runEngine(rewritten, renamed, opts, showStats, out)
+	case method == "counting-rewrite":
+		rewritten, renamed, err := rewrite.Counting(prog, goal)
+		if err != nil {
+			return err
+		}
+		return runEngine(rewritten, renamed, opts, showStats, out)
+	case strings.HasPrefix(method, "mc-") && strings.HasSuffix(method, "-rewrite"):
+		strategy, mode, err := parseMCName(strings.TrimSuffix(method, "-rewrite"))
+		if err != nil {
+			return err
+		}
+		rewritten, renamed, err := rewrite.MCProgram(prog, goal, strategy, mode)
+		if err != nil {
+			return err
+		}
+		return runEngine(rewritten, renamed, opts, showStats, out)
+	default:
+		def, ok := harness.MethodByName(method)
+		if !ok {
+			return fmt.Errorf("unknown method %q", method)
+		}
+		q, _, err := rewrite.ExtractQuery(prog, goal)
+		if err != nil {
+			return fmt.Errorf("method %s needs a canonical strongly linear query: %w", method, err)
+		}
+		res, err := def.Run(q)
+		if err != nil {
+			return err
+		}
+		for _, a := range res.Answers {
+			fmt.Fprintln(out, a)
+		}
+		if showStats {
+			fmt.Fprintf(out, "-- %d answers, %d tuple retrievals, %d iterations\n",
+				len(res.Answers), res.Stats.Retrievals, res.Stats.Iterations)
+			if res.Stats.MagicSetSize > 0 {
+				fmt.Fprintf(out, "-- |MS|=%d |RM|=%d |RC|=%d regular=%v\n",
+					res.Stats.MagicSetSize, res.Stats.RMSize, res.Stats.RCSize, res.Stats.Regular)
+			}
+		}
+		return nil
+	}
+}
+
+func runEngine(prog *datalog.Program, goal datalog.Atom, opts engine.Options, showStats bool, out io.Writer) error {
+	store := relation.NewStore()
+	tuples, err := engine.Answers(prog, goal, store, opts)
+	if err != nil {
+		return err
+	}
+	// Print the bindings of the goal's free positions.
+	var free []int
+	for i, a := range goal.Args {
+		if a.IsVar() {
+			free = append(free, i)
+		}
+	}
+	seen := map[string]bool{}
+	for _, t := range tuples {
+		parts := make([]string, len(free))
+		for i, f := range free {
+			parts[i] = t[f].String()
+		}
+		line := strings.Join(parts, "\t")
+		if !seen[line] {
+			seen[line] = true
+			fmt.Fprintln(out, line)
+		}
+	}
+	if showStats {
+		fmt.Fprintf(out, "-- %d answers, %d tuple retrievals\n", len(seen), store.Meter().Retrievals())
+	}
+	return nil
+}
+
+func parseMCName(name string) (core.Strategy, core.Mode, error) {
+	parts := strings.Split(name, "-")
+	if len(parts) != 3 || parts[0] != "mc" {
+		return 0, 0, fmt.Errorf("bad magic counting method name %q (want mc-<strategy>-<mode>)", name)
+	}
+	var s core.Strategy
+	switch parts[1] {
+	case "basic":
+		s = core.Basic
+	case "single":
+		s = core.Single
+	case "multiple":
+		s = core.Multiple
+	case "recurring":
+		s = core.Recurring
+	default:
+		return 0, 0, fmt.Errorf("unknown strategy %q", parts[1])
+	}
+	switch parts[2] {
+	case "ind":
+		return s, core.Independent, nil
+	case "int":
+		return s, core.Integrated, nil
+	default:
+		return 0, 0, fmt.Errorf("unknown mode %q", parts[2])
+	}
+}

@@ -1,0 +1,238 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleProgram = `
+up(a, b). up(b, c). up(x, b). up(y, c).
+person(a). person(b). person(c). person(x). person(y).
+sg(X, Y) :- person(X), X = Y.
+sg(X, Y) :- up(X, X1), sg(X1, Y1), up(Y, Y1).
+?- sg(a, Y).
+`
+
+func writeProgram(t *testing.T, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "prog.dl")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runMCQ(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var buf bytes.Buffer
+	err := run(args, &buf)
+	return buf.String(), err
+}
+
+func TestAllMethodsAgreeOnSample(t *testing.T) {
+	path := writeProgram(t, sampleProgram)
+	want := "a\nx\n"
+	methods := []string{
+		"naive", "seminaive", "magic-rewrite", "counting-rewrite",
+		"magic", "counting", "mc-basic-ind", "mc-multiple-int",
+		"mc-recurring-scc", "mc-single-int-rewrite", "mc-recurring-ind-rewrite",
+	}
+	for _, m := range methods {
+		out, err := runMCQ(t, "-method", m, path)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if out != want {
+			t.Fatalf("%s output = %q, want %q", m, out, want)
+		}
+	}
+}
+
+func TestStatsFlag(t *testing.T) {
+	path := writeProgram(t, sampleProgram)
+	out, err := runMCQ(t, "-method", "mc-multiple-int", "-stats", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "tuple retrievals") || !strings.Contains(out, "|MS|=") {
+		t.Fatalf("stats missing: %q", out)
+	}
+	out, err = runMCQ(t, "-method", "seminaive", "-stats", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "tuple retrievals") {
+		t.Fatalf("engine stats missing: %q", out)
+	}
+}
+
+func TestCyclicCountingReportsUnsafe(t *testing.T) {
+	cyclic := `
+up(a, b). up(b, a).
+person(a). person(b).
+sg(X, Y) :- person(X), X = Y.
+sg(X, Y) :- up(X, X1), sg(X1, Y1), up(Y, Y1).
+?- sg(a, Y).
+`
+	path := writeProgram(t, cyclic)
+	if _, err := runMCQ(t, "-method", "counting", path); err == nil {
+		t.Fatal("counting on cyclic data should fail")
+	}
+	out, err := runMCQ(t, "-method", "mc-recurring-int", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On the 2-cycle, b is only ever at odd distance from a, so the
+	// answer is a alone (same-generation parity).
+	if out != "a\n" {
+		t.Fatalf("answers = %q", out)
+	}
+}
+
+func TestCountingRewriteGuardTrips(t *testing.T) {
+	cyclic := `
+up(a, b). up(b, a).
+person(a). person(b).
+sg(X, Y) :- person(X), X = Y.
+sg(X, Y) :- up(X, X1), sg(X1, Y1), up(Y, Y1).
+?- sg(a, Y).
+`
+	path := writeProgram(t, cyclic)
+	if _, err := runMCQ(t, "-method", "counting-rewrite", "-max-iterations", "50", path); err == nil {
+		t.Fatal("counting rewrite should trip the guard")
+	}
+}
+
+func TestRightLinearQueryCanonicalizesForCoreMethods(t *testing.T) {
+	tc := `
+e(a, b). e(b, c).
+tc(X, Y) :- e(X, Y).
+tc(X, Y) :- e(X, Z), tc(Z, Y).
+?- tc(a, Y).
+`
+	path := writeProgram(t, tc)
+	out, err := runMCQ(t, "-method", "magic-rewrite", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "b\nc\n" {
+		t.Fatalf("answers = %q", out)
+	}
+	// Transitive closure is right-linear: Canonicalize makes it
+	// acceptable to the core solvers too.
+	out, err = runMCQ(t, "-method", "magic", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "b\nc\n" {
+		t.Fatalf("core magic answers = %q", out)
+	}
+}
+
+func TestOutOfClassQueryRejectedByCoreMethods(t *testing.T) {
+	nonlinear := `
+e(a, b). e(b, c).
+tc(X, Y) :- e(X, Y).
+tc(X, Y) :- tc(X, Z), tc(Z, Y).
+?- tc(a, Y).
+`
+	path := writeProgram(t, nonlinear)
+	// The generic engine handles it fine.
+	out, err := runMCQ(t, "-method", "seminaive", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "b\nc\n" {
+		t.Fatalf("answers = %q", out)
+	}
+	// The core solvers are defined for the linear class only.
+	if _, err := runMCQ(t, "-method", "counting", path); err == nil {
+		t.Fatal("core method on nonlinear program should fail")
+	}
+}
+
+func TestMultipleFilesConcatenate(t *testing.T) {
+	rules := writeProgram(t, `
+sg(X, Y) :- person(X), X = Y.
+sg(X, Y) :- up(X, X1), sg(X1, Y1), up(Y, Y1).
+?- sg(a, Y).
+`)
+	facts := writeProgram(t, `
+up(a, b). up(x, b).
+person(a). person(b). person(x).
+`)
+	out, err := runMCQ(t, "-method", "mc-single-int", rules, facts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "a\nx\n" {
+		t.Fatalf("answers = %q", out)
+	}
+}
+
+func TestExplainFlag(t *testing.T) {
+	path := writeProgram(t, sampleProgram)
+	out, err := runMCQ(t, "-explain", "multiple-int", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"strategy=multiple mode=integrated", "step 1", "answers:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in explain output:\n%s", want, out)
+		}
+	}
+	if _, err := runMCQ(t, "-explain", "bogus-int", path); err == nil {
+		t.Fatal("bad explain spec should fail")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	path := writeProgram(t, sampleProgram)
+	cases := [][]string{
+		{path, "extra"},                       // too many args
+		{"-method", "nosuch", path},           // unknown method
+		{"-method", "mc-bogus-int", path},     // bad mc name handled by registry
+		{"-method", "mc-x-rewrite", path},     // malformed rewrite name
+		{"-method", "mc-x-y-z-rewrite", path}, // malformed rewrite name
+		{filepath.Join(t.TempDir(), "missing.dl")},
+	}
+	for _, args := range cases {
+		if _, err := runMCQ(t, args...); err == nil {
+			t.Errorf("args %v should fail", args)
+		}
+	}
+	noQuery := writeProgram(t, `e(a, b).`)
+	if _, err := runMCQ(t, noQuery); err == nil {
+		t.Error("program without query should fail")
+	}
+	badSyntax := writeProgram(t, `e(a, b`)
+	if _, err := runMCQ(t, badSyntax); err == nil {
+		t.Error("bad syntax should fail")
+	}
+}
+
+func TestParseMCName(t *testing.T) {
+	good := map[string][2]string{
+		"mc-basic-ind":     {"basic", "independent"},
+		"mc-single-int":    {"single", "integrated"},
+		"mc-multiple-ind":  {"multiple", "independent"},
+		"mc-recurring-int": {"recurring", "integrated"},
+	}
+	for name, want := range good {
+		s, m, err := parseMCName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if s.String() != want[0] || m.String() != want[1] {
+			t.Fatalf("%s = %v/%v", name, s, m)
+		}
+	}
+	for _, bad := range []string{"mc-basic", "xx-basic-ind", "mc-basic-sideways", "mc-bogus-ind"} {
+		if _, _, err := parseMCName(bad); err == nil {
+			t.Errorf("%s should fail", bad)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"magiccounting/internal/datalog"
+	"magiccounting/internal/rewrite"
+)
+
+// repl runs the interactive session: facts and rules accumulate,
+// queries evaluate immediately. Directives:
+//
+//	?- goal.            evaluate goal with the current method
+//	:method NAME        switch evaluation method
+//	:list               print the accumulated program
+//	:clear              drop all facts and rules
+//	:help               show directives
+//	:quit               leave
+//
+// Clauses may span lines; input is buffered until a terminating '.'.
+func repl(in io.Reader, out io.Writer, method string, maxIter int) error {
+	prog := &datalog.Program{}
+	scanner := bufio.NewScanner(in)
+	scanner.Buffer(make([]byte, 1024*1024), 1024*1024)
+	fmt.Fprintln(out, "magic counting repl — :help for directives")
+	var pending strings.Builder
+	prompt := func() { fmt.Fprint(out, "mcq> ") }
+	prompt()
+	for scanner.Scan() {
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		if pending.Len() == 0 && strings.HasPrefix(trimmed, ":") {
+			if done := directive(trimmed, &prog, &method, out); done {
+				return nil
+			}
+			prompt()
+			continue
+		}
+		pending.WriteString(line)
+		pending.WriteByte('\n')
+		if !strings.HasSuffix(strings.TrimRight(stripComment(line), " \t"), ".") {
+			continue // clause not finished yet
+		}
+		text := pending.String()
+		pending.Reset()
+		chunk, err := datalog.Parse(text)
+		if err != nil {
+			fmt.Fprintln(out, "error:", err)
+			prompt()
+			continue
+		}
+		prog.Facts = append(prog.Facts, chunk.Facts...)
+		prog.Rules = append(prog.Rules, chunk.Rules...)
+		for _, goal := range chunk.Queries {
+			// Evaluate on a copy so queries never pollute the session.
+			snapshot := &datalog.Program{Facts: prog.Facts, Rules: prog.Rules}
+			if err := evaluate(snapshot, goal, method, true, maxIter, out); err != nil {
+				fmt.Fprintln(out, "error:", err)
+			}
+		}
+		prompt()
+	}
+	return scanner.Err()
+}
+
+// stripComment removes a trailing %- or //-comment so clause
+// termination detection sees the real last token.
+func stripComment(line string) string {
+	if i := strings.Index(line, "%"); i >= 0 {
+		line = line[:i]
+	}
+	if i := strings.Index(line, "//"); i >= 0 {
+		line = line[:i]
+	}
+	return line
+}
+
+// directive handles a :command; it reports whether the session ends.
+func directive(cmd string, prog **datalog.Program, method *string, out io.Writer) bool {
+	fields := strings.Fields(cmd)
+	switch fields[0] {
+	case ":quit", ":q", ":exit":
+		fmt.Fprintln(out, "bye")
+		return true
+	case ":help":
+		fmt.Fprintln(out, "  fact.                add a fact          ?- goal.   run a query")
+		fmt.Fprintln(out, "  head :- body.        add a rule")
+		fmt.Fprintln(out, "  :method NAME         switch method (current:", *method+")")
+		fmt.Fprintln(out, "  :list  :clear  :classify  :quit")
+	case ":method":
+		if len(fields) != 2 {
+			fmt.Fprintln(out, "usage: :method NAME")
+			break
+		}
+		*method = fields[1]
+		fmt.Fprintln(out, "method set to", *method)
+	case ":list":
+		fmt.Fprint(out, (*prog).String())
+	case ":clear":
+		*prog = &datalog.Program{}
+		fmt.Fprintln(out, "cleared")
+	case ":classify":
+		// Classify the magic graph of the last query's predicate, if
+		// the program is canonical.
+		if len(fields) != 2 {
+			fmt.Fprintln(out, "usage: :classify goalAtom   e.g. :classify p(a,Y)")
+			break
+		}
+		sub, err := datalog.Parse("?- " + fields[1] + ".")
+		if err != nil || len(sub.Queries) != 1 {
+			fmt.Fprintln(out, "error: cannot parse goal")
+			break
+		}
+		q, _, err := rewrite.ExtractQuery(*prog, sub.Queries[0])
+		if err != nil {
+			fmt.Fprintln(out, "error:", err)
+			break
+		}
+		p := q.Params()
+		fmt.Fprintf(out, "magic graph: nL=%d mL=%d regular=%v cyclic=%v i_x=%d singles=%d multiples=%d\n",
+			p.NL, p.ML, p.Regular, p.Cyclic, p.IX, p.NS, p.NM-p.NS)
+	default:
+		fmt.Fprintln(out, "unknown directive", fields[0], "- try :help")
+	}
+	return false
+}

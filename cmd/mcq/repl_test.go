@@ -1,0 +1,127 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runREPL(t *testing.T, script string) string {
+	t.Helper()
+	var out bytes.Buffer
+	if err := repl(strings.NewReader(script), &out, "seminaive", 1000); err != nil {
+		t.Fatal(err)
+	}
+	return out.String()
+}
+
+func TestREPLFactsRulesAndQuery(t *testing.T) {
+	out := runREPL(t, `
+e(a, b).
+e(b, c).
+tc(X, Y) :- e(X, Y).
+tc(X, Y) :- e(X, Z), tc(Z, Y).
+?- tc(a, Y).
+:quit
+`)
+	for _, want := range []string{"b", "c", "bye"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestREPLMultilineClause(t *testing.T) {
+	out := runREPL(t, `
+tc(X, Y) :-
+    e(X, Z),
+    tc(Z, Y).
+tc(X, Y) :- e(X, Y).
+e(a, b).
+?- tc(a, Y).
+:quit
+`)
+	if !strings.Contains(out, "b\n") {
+		t.Fatalf("multiline rule lost:\n%s", out)
+	}
+}
+
+func TestREPLMethodSwitchAndClassify(t *testing.T) {
+	out := runREPL(t, `
+l(a, b). l(b, c). l(c, a).
+e0(a, hit).
+p(X, Y) :- e0(X, Y).
+p(X, Y) :- l(X, X1), p(X1, Y1), r(Y, Y1).
+:method mc-recurring-int
+?- p(a, Y).
+:classify p(a,Y)
+:quit
+`)
+	if !strings.Contains(out, "method set to mc-recurring-int") {
+		t.Fatalf("method switch missing:\n%s", out)
+	}
+	if !strings.Contains(out, "hit") {
+		t.Fatalf("answer missing:\n%s", out)
+	}
+	if !strings.Contains(out, "cyclic=true") {
+		t.Fatalf("classify missing:\n%s", out)
+	}
+}
+
+func TestREPLListClearHelpAndErrors(t *testing.T) {
+	out := runREPL(t, `
+e(a, b).
+:list
+:clear
+:list
+:help
+:nosuch
+:method
+e(a, b
+?- undefined_pred(X).
+:quit
+`)
+	if !strings.Contains(out, "e(a, b).") {
+		t.Fatalf(":list missing fact:\n%s", out)
+	}
+	if !strings.Contains(out, "cleared") || !strings.Contains(out, "unknown directive") {
+		t.Fatalf("directives misbehaved:\n%s", out)
+	}
+	if !strings.Contains(out, "error:") {
+		t.Fatalf("parse error not surfaced:\n%s", out)
+	}
+}
+
+func TestREPLQueryDoesNotPolluteSession(t *testing.T) {
+	// Run the same query twice; answers must not duplicate or change
+	// (evaluation happens on a snapshot).
+	out := runREPL(t, `
+e(a, b).
+tc(X, Y) :- e(X, Y).
+tc(X, Y) :- e(X, Z), tc(Z, Y).
+?- tc(a, Y).
+?- tc(a, Y).
+:quit
+`)
+	if strings.Count(out, "b\n") != 2 {
+		t.Fatalf("want exactly one answer line per query:\n%s", out)
+	}
+}
+
+func TestREPLCommentDoesNotHideTerminator(t *testing.T) {
+	out := runREPL(t, `
+e(a, b). % trailing comment
+?- e(a, Y).
+:quit
+`)
+	if !strings.Contains(out, "b\n") {
+		t.Fatalf("comment swallowed the clause:\n%s", out)
+	}
+}
+
+func TestInteractiveFlagRejectsFileArg(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-i", "somefile.dl"}, &buf); err == nil {
+		t.Fatal("interactive mode with file should fail")
+	}
+}

@@ -1,0 +1,91 @@
+// Parts: a bill-of-materials query where L and R genuinely differ.
+// Two product lines share a component catalog; starting from one
+// audited leaf component, the query asks which reference-design parts
+// sit at the same assembly depth — the canonical query with
+// L = part_of (audited), R = part_of (reference), and E = the
+// cross-listing between the two catalogs. A size sweep shows the
+// counting-family advantage growing on this regular workload: the
+// magic set method materializes every same-depth part pair, the
+// counting method only one depth index per part.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"magiccounting/internal/core"
+)
+
+// buildBOM creates an assembly tree of the given fan-out and depth
+// with part names under the given prefix, returning part_of pairs
+// (component, containing assembly) — arcs point from a part up to its
+// assembly — plus the total number of parts.
+func buildBOM(prefix string, fanout, depth int) ([]core.Pair, int) {
+	var pairs []core.Pair
+	id := func(i int) string { return fmt.Sprintf("%s%d", prefix, i) }
+	total := 0
+	per := 1
+	for d := 0; d < depth; d++ {
+		total += per
+		per *= fanout
+	}
+	for i := 0; i < total; i++ {
+		for c := 0; c < fanout; c++ {
+			child := fanout*i + c + 1
+			pairs = append(pairs, core.Pair{From: id(child), To: id(i)})
+		}
+	}
+	return pairs, total + per // internal nodes + leaves
+}
+
+// crossListing links shared subassemblies of the audited design to
+// their reference counterparts (they use the same numbering).
+func crossListing(parts int) []core.Pair {
+	var pairs []core.Pair
+	for i := 0; i < parts; i++ {
+		if i%2 == 0 { // only even-numbered parts are shared
+			pairs = append(pairs, core.Pair{
+				From: fmt.Sprintf("audit%d", i),
+				To:   fmt.Sprintf("ref%d", i),
+			})
+		}
+	}
+	return pairs
+}
+
+func main() {
+	fmt.Println("depth  parts  answers  counting     magic    speedup")
+	for depth := 4; depth <= 7; depth++ {
+		audited, parts := buildBOM("audit", 2, depth)
+		reference, _ := buildBOM("ref", 2, depth)
+		q := core.Query{
+			L:      audited,
+			R:      reference,
+			E:      crossListing(parts),
+			Source: fmt.Sprintf("audit%d", parts-1), // a deep leaf component
+		}
+		c, err := q.SolveCounting()
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := q.SolveMagic()
+		if err != nil {
+			log.Fatal(err)
+		}
+		mc, err := q.SolveMagicCounting(core.Recurring, core.Integrated)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(c.Answers) != len(m.Answers) || len(mc.Answers) != len(m.Answers) {
+			log.Fatalf("methods disagree at depth %d", depth)
+		}
+		fmt.Printf("%5d  %5d  %7d  %8d  %8d  %8.1fx\n",
+			depth, parts, len(c.Answers),
+			c.Stats.Retrievals, m.Stats.Retrievals,
+			float64(m.Stats.Retrievals)/float64(c.Stats.Retrievals))
+	}
+	fmt.Println()
+	fmt.Println("the widening gap is Table 1's regular row: Θ(mL + nL·mR) vs")
+	fmt.Println("Θ(mL·mR); magic counting tracks the counting column while staying")
+	fmt.Println("safe if a recycled part ever makes the containment graph cyclic.")
+}

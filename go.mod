@@ -1,0 +1,3 @@
+module magiccounting
+
+go 1.22

@@ -1,0 +1,592 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFig1NaiveAnswer(t *testing.T) {
+	res, err := fig1Query().SolveNaive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalAnswers(res.Answers, fig1Answers) {
+		t.Fatalf("naive answers = %v, want %v", res.Answers, fig1Answers)
+	}
+}
+
+func TestFig1CountingMatchesPaperAnswer(t *testing.T) {
+	res, err := fig1Query().SolveCounting()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalAnswers(res.Answers, fig1Answers) {
+		t.Fatalf("counting answers = %v, want %v", res.Answers, fig1Answers)
+	}
+}
+
+func TestFig1MagicMatchesPaperAnswer(t *testing.T) {
+	res, err := fig1Query().SolveMagic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalAnswers(res.Answers, fig1Answers) {
+		t.Fatalf("magic answers = %v, want %v", res.Answers, fig1Answers)
+	}
+	if res.Stats.MagicSetSize != 6 { // a, a1..a5
+		t.Fatalf("|MS| = %d, want 6", res.Stats.MagicSetSize)
+	}
+}
+
+func TestFig1RegimeTransitions(t *testing.T) {
+	base := fig1Query().Params()
+	if !base.Regular || base.Cyclic {
+		t.Fatalf("base Figure 1 should be regular: %+v", base)
+	}
+	acyc := fig1Acyclic().Params()
+	if acyc.Regular || acyc.Cyclic {
+		t.Fatalf("⟨a2,a5⟩ should give acyclic non-regular: %+v", acyc)
+	}
+	cyc := fig1Cyclic().Params()
+	if !cyc.Cyclic {
+		t.Fatalf("⟨a5,a2⟩ should give cyclic: %+v", cyc)
+	}
+}
+
+func TestFig1AnswerStableAcrossRegimes(t *testing.T) {
+	// The added magic-graph arcs create no new answers in this
+	// instance, so all safe methods must agree across all three
+	// regimes.
+	for _, q := range []Query{fig1Query(), fig1Acyclic(), fig1Cyclic()} {
+		res, err := q.SolveMagic()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalAnswers(res.Answers, fig1Answers) {
+			t.Fatalf("magic answers = %v, want %v", res.Answers, fig1Answers)
+		}
+	}
+}
+
+func TestFig1CyclicCountingUnsafe(t *testing.T) {
+	_, err := fig1Cyclic().SolveCounting()
+	if !errors.Is(err, ErrUnsafe) {
+		t.Fatalf("err = %v, want ErrUnsafe", err)
+	}
+}
+
+func TestFig1AcyclicCountingStillSafe(t *testing.T) {
+	res, err := fig1Acyclic().SolveCounting()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalAnswers(res.Answers, fig1Answers) {
+		t.Fatalf("counting answers = %v, want %v", res.Answers, fig1Answers)
+	}
+}
+
+func TestFig1AllMagicCountingMethodsAllRegimes(t *testing.T) {
+	for _, q := range []Query{fig1Query(), fig1Acyclic(), fig1Cyclic()} {
+		for _, spec := range allMagicCountingSpecs() {
+			res, err := q.SolveMagicCounting(spec.Strategy, spec.Mode)
+			if err != nil {
+				t.Fatalf("%v/%v: %v", spec.Strategy, spec.Mode, err)
+			}
+			if !equalAnswers(res.Answers, fig1Answers) {
+				t.Fatalf("%v/%v answers = %v, want %v",
+					spec.Strategy, spec.Mode, res.Answers, fig1Answers)
+			}
+		}
+	}
+}
+
+// Figure 2: the paper lists the reduced sets every strategy must
+// produce on this magic graph (§4 d, §7, §8, §9 examples).
+func TestFig2ReducedSetsMatchPaper(t *testing.T) {
+	q := fig2Query()
+	cases := []struct {
+		strategy Strategy
+		wantRM   []string
+		wantRC   []string // RC node values (without indices)
+	}{
+		{Basic, []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j", "k", "l"}, nil},
+		{Single, []string{"e", "f", "g", "h", "i", "j", "k", "l"}, []string{"a", "b", "c", "d"}},
+		{Multiple, []string{"g", "h", "i", "j", "k", "l"}, []string{"a", "b", "c", "d", "e", "f"}},
+		{Recurring, []string{"g", "i", "j", "l"}, []string{"a", "b", "c", "d", "e", "f", "h", "k"}},
+	}
+	for _, c := range cases {
+		rs, names, err := q.ReducedSetsFor(c.strategy, Independent, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var gotRM []string
+		for v, in := range rs.RM {
+			if in {
+				gotRM = append(gotRM, names[v])
+			}
+		}
+		sortStrings(gotRM)
+		if !equalAnswers(gotRM, c.wantRM) {
+			t.Errorf("%v RM = %v, want %v", c.strategy, gotRM, c.wantRM)
+		}
+		rcSet := map[string]bool{}
+		for j := range rs.RC.levels {
+			for _, v := range rs.RC.at(j) {
+				rcSet[names[v]] = true
+			}
+		}
+		var gotRC []string
+		for n := range rcSet {
+			gotRC = append(gotRC, n)
+		}
+		sortStrings(gotRC)
+		if !equalAnswers(gotRC, c.wantRC) {
+			t.Errorf("%v RC = %v, want %v", c.strategy, gotRC, c.wantRC)
+		}
+	}
+}
+
+func TestFig2RecurringSCCMatchesNaiveStep1(t *testing.T) {
+	q := fig2Query()
+	naive, names, err := q.ReducedSetsFor(Recurring, Independent, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scc, _, err := q.ReducedSetsFor(Recurring, Independent, Options{SCCStep1: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range names {
+		if naive.RM[v] != scc.RM[v] {
+			t.Fatalf("RM disagreement at %s", names[v])
+		}
+	}
+	if naive.RC.pairs != scc.RC.pairs {
+		t.Fatalf("RC pairs: naive %d, scc %d", naive.RC.pairs, scc.RC.pairs)
+	}
+}
+
+// Figure 2 graph parameters, §7–§9. Fourteen of the sixteen published
+// values; the two §9 hatted values are pinned to the reconstruction
+// (see fixtures_test.go).
+func TestFig2Params(t *testing.T) {
+	p := fig2Query().Params()
+	checks := []struct {
+		name string
+		got  int
+		want int
+	}{
+		{"NL", p.NL, 12}, {"ML", p.ML, 14},
+		{"IX", p.IX, 2},
+		{"NX", p.NX, 4}, {"MX", p.MX, 3},
+		{"NJhat", p.NJhat, 1}, {"MJhat", p.MJhat, 1},
+		{"NS", p.NS, 6}, {"MS", p.MS, 6},
+		{"NIhat", p.NIhat, 2}, {"MIhat", p.MIhat, 3},
+		{"NM", p.NM, 8}, {"MM", p.MM, 9},
+		{"NMhat", p.NMhat, 5}, {"MMhat", p.MMhat, 7},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("%s = %d, want %d", c.name, c.got, c.want)
+		}
+	}
+	if p.Regular || !p.Cyclic {
+		t.Errorf("Regular=%v Cyclic=%v, want false/true", p.Regular, p.Cyclic)
+	}
+}
+
+func TestFig2AllMethodsAgreeWithNaive(t *testing.T) {
+	q := fig2Query()
+	want, err := q.SolveNaive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Answers) == 0 {
+		t.Fatal("fixture should have answers")
+	}
+	res, err := q.SolveMagic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalAnswers(res.Answers, want.Answers) {
+		t.Fatalf("magic = %v, want %v", res.Answers, want.Answers)
+	}
+	for _, spec := range allMagicCountingSpecs() {
+		res, err := q.SolveMagicCounting(spec.Strategy, spec.Mode)
+		if err != nil {
+			t.Fatalf("%v/%v: %v", spec.Strategy, spec.Mode, err)
+		}
+		if !equalAnswers(res.Answers, want.Answers) {
+			t.Fatalf("%v/%v = %v, want %v", spec.Strategy, spec.Mode, res.Answers, want.Answers)
+		}
+	}
+	if _, err := q.SolveCounting(); !errors.Is(err, ErrUnsafe) {
+		t.Fatal("counting should be unsafe on Figure 2 (cyclic)")
+	}
+	cyc, err := q.SolveCountingCyclic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalAnswers(cyc.Answers, want.Answers) {
+		t.Fatalf("generalized counting = %v, want %v", cyc.Answers, want.Answers)
+	}
+}
+
+func TestChainCountingBeatsMagic(t *testing.T) {
+	q := chainQuery(60)
+	c, err := q.SolveCounting()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := q.SolveMagic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalAnswers(c.Answers, m.Answers) {
+		t.Fatal("counting and magic disagree on chain")
+	}
+	if c.Stats.Retrievals >= m.Stats.Retrievals {
+		t.Fatalf("counting (%d) should beat magic (%d) on a regular chain",
+			c.Stats.Retrievals, m.Stats.Retrievals)
+	}
+}
+
+func TestChainMagicCountingEqualsCounting(t *testing.T) {
+	// On regular graphs every magic counting method degenerates to the
+	// counting method: RM is empty, so the cost is within Step 1
+	// overhead of pure counting.
+	q := chainQuery(40)
+	c, err := q.SolveCounting()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range allMagicCountingSpecs() {
+		res, err := q.SolveMagicCounting(spec.Strategy, spec.Mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalAnswers(res.Answers, c.Answers) {
+			t.Fatalf("%v/%v disagrees with counting", spec.Strategy, spec.Mode)
+		}
+		if res.Stats.RMSize != 0 {
+			t.Fatalf("%v/%v: RM should be empty on a regular graph", spec.Strategy, spec.Mode)
+		}
+		if !res.Stats.Regular {
+			t.Fatalf("%v/%v: regular flag not set", spec.Strategy, spec.Mode)
+		}
+	}
+}
+
+func TestSameGenerationBuildsIdentityExit(t *testing.T) {
+	q := SameGeneration([]Pair{P("p", "c1"), P("p", "c2")}, "p")
+	res, err := q.SolveCounting()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// p is of the same generation as itself only (children are one
+	// level down from p, not reachable at p's own level).
+	if !equalAnswers(res.Answers, []string{"p"}) {
+		t.Fatalf("answers = %v", res.Answers)
+	}
+}
+
+func TestSameGenerationSiblings(t *testing.T) {
+	// Two children of the same parent are of the same generation.
+	q := SameGeneration([]Pair{P("c1", "p"), P("c2", "p")}, "c1")
+	res, err := q.SolveCounting()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalAnswers(res.Answers, []string{"c1", "c2"}) {
+		t.Fatalf("answers = %v", res.Answers)
+	}
+}
+
+func TestSourceNotInDatabase(t *testing.T) {
+	q := Query{
+		L:      []Pair{P("x", "y")},
+		E:      []Pair{P("x", "r")},
+		R:      nil,
+		Source: "orphan",
+	}
+	for _, solve := range []func() (*Result, error){
+		q.SolveCounting, q.SolveMagic, q.SolveNaive,
+	} {
+		res, err := solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Answers) != 0 {
+			t.Fatalf("answers = %v, want none", res.Answers)
+		}
+	}
+}
+
+func TestExitArcOutsideRDomain(t *testing.T) {
+	// E reaches a constant that never occurs in R: still an answer.
+	q := Query{
+		L:      []Pair{P("a", "b")},
+		E:      []Pair{P("a", "ghost")},
+		R:      nil,
+		Source: "a",
+	}
+	res, err := q.SolveMagic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalAnswers(res.Answers, []string{"ghost"}) {
+		t.Fatalf("answers = %v", res.Answers)
+	}
+	for _, spec := range allMagicCountingSpecs() {
+		res, err := q.SolveMagicCounting(spec.Strategy, spec.Mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalAnswers(res.Answers, []string{"ghost"}) {
+			t.Fatalf("%v/%v answers = %v", spec.Strategy, spec.Mode, res.Answers)
+		}
+	}
+}
+
+func TestSelfLoopAtSource(t *testing.T) {
+	q := SameGeneration([]Pair{P("a", "a"), P("a", "b")}, "a")
+	if _, err := q.SolveCounting(); !errors.Is(err, ErrUnsafe) {
+		t.Fatal("self-loop should make counting unsafe")
+	}
+	want, err := q.SolveNaive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range allMagicCountingSpecs() {
+		res, err := q.SolveMagicCounting(spec.Strategy, spec.Mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalAnswers(res.Answers, want.Answers) {
+			t.Fatalf("%v/%v = %v, want %v", spec.Strategy, spec.Mode, res.Answers, want.Answers)
+		}
+	}
+}
+
+func TestEmptyDatabase(t *testing.T) {
+	q := Query{Source: "a"}
+	res, err := q.SolveCounting()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) != 0 {
+		t.Fatalf("answers = %v", res.Answers)
+	}
+	res, err = q.SolveMagicCounting(Recurring, Integrated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) != 0 {
+		t.Fatalf("answers = %v", res.Answers)
+	}
+}
+
+// The central correctness property: on arbitrary random instances,
+// every safe method agrees with naive evaluation.
+func TestAllMethodsMatchNaiveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := randomQuery(rng)
+		want, err := q.SolveNaive()
+		if err != nil {
+			return false
+		}
+		if res, err := q.SolveMagic(); err != nil || !equalAnswers(res.Answers, want.Answers) {
+			t.Logf("seed %d: magic mismatch: %v", seed, err)
+			return false
+		}
+		if res, err := q.SolveCountingCyclic(); err != nil || !equalAnswers(res.Answers, want.Answers) {
+			t.Logf("seed %d: generalized counting mismatch: %v", seed, err)
+			return false
+		}
+		for _, spec := range allMagicCountingSpecs() {
+			res, err := q.SolveMagicCounting(spec.Strategy, spec.Mode)
+			if err != nil || !equalAnswers(res.Answers, want.Answers) {
+				t.Logf("seed %d: %v/%v mismatch: got %v want %v err %v",
+					seed, spec.Strategy, spec.Mode, res, want.Answers, err)
+				return false
+			}
+		}
+		// The SCC step 1 variant must agree too.
+		res, err := q.SolveMagicCountingOpts(Recurring, Integrated, Options{SCCStep1: true})
+		if err != nil || !equalAnswers(res.Answers, want.Answers) {
+			t.Logf("seed %d: recurring-scc mismatch: %v", seed, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+}
+
+// On acyclic instances the counting method is safe and must agree.
+func TestCountingMatchesNaiveOnAcyclicProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := randomAcyclicQuery(rng)
+		want, err := q.SolveNaive()
+		if err != nil {
+			return false
+		}
+		res, err := q.SolveCounting()
+		if err != nil {
+			t.Logf("seed %d: counting unsafe on acyclic graph: %v", seed, err)
+			return false
+		}
+		return equalAnswers(res.Answers, want.Answers)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Step 1 outputs always satisfy the Theorem 1/2 conditions and the
+// successor-closure invariant the integrated evaluation needs.
+func TestReducedSetConditionsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := randomQuery(rng)
+		for _, spec := range allMagicCountingSpecs() {
+			for _, opts := range []Options{{}, {SCCStep1: true}} {
+				if opts.SCCStep1 && spec.Strategy != Recurring {
+					continue
+				}
+				rs, _, err := q.ReducedSetsFor(spec.Strategy, spec.Mode, opts)
+				if err != nil {
+					return false
+				}
+				if err := CheckReducedSets(q, rs, spec.Mode); err != nil {
+					t.Logf("seed %d %v/%v: %v", seed, spec.Strategy, spec.Mode, err)
+					return false
+				}
+				if err := RMClosedUnderSuccessors(q, rs); err != nil {
+					t.Logf("seed %d %v/%v: %v", seed, spec.Strategy, spec.Mode, err)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Violating the theorem conditions must be detected by the checker.
+func TestCheckReducedSetsDetectsViolations(t *testing.T) {
+	q := fig2Query()
+	rs, names, err := q.ReducedSetsFor(Multiple, Independent, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop a node from RM entirely: condition (a).
+	for v := range rs.RM {
+		if rs.RM[v] {
+			rs.RM[v] = false
+			break
+		}
+	}
+	if err := CheckReducedSets(q, rs, Independent); err == nil {
+		t.Fatal("condition (a) violation not detected")
+	}
+	// Remove one index of a multiple node from the recurring RC:
+	// condition (b).
+	rs2, _, err := q.ReducedSetsFor(Recurring, Independent, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hID int32 = -1
+	for v, n := range names {
+		if n == "h" {
+			hID = int32(v)
+		}
+	}
+	if hID < 0 {
+		t.Fatal("fixture node h missing")
+	}
+	for j := range rs2.RC.levels {
+		if rs2.RC.member[j][hID] {
+			delete(rs2.RC.member[j], hID)
+			var kept []int32
+			for _, v := range rs2.RC.levels[j] {
+				if v != hID {
+					kept = append(kept, v)
+				}
+			}
+			rs2.RC.levels[j] = kept
+			rs2.RC.pairs--
+			break
+		}
+	}
+	if err := CheckReducedSets(q, rs2, Independent); err == nil {
+		t.Fatal("condition (b) violation not detected")
+	}
+	// Missing (0, a): condition (c), integrated only.
+	rs3, _, err := q.ReducedSetsFor(Basic, Independent, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckReducedSets(q, rs3, Integrated); err == nil {
+		t.Fatal("condition (c) violation not detected")
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	res, err := fig2Query().SolveMagicCounting(Multiple, Integrated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Stats
+	if s.Retrievals == 0 || s.Iterations == 0 || s.MagicSetSize != 12 ||
+		s.RMSize != 6 || s.RCSize != 6 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestStrategyModeStrings(t *testing.T) {
+	if Basic.String() != "basic" || Single.String() != "single" ||
+		Multiple.String() != "multiple" || Recurring.String() != "recurring" {
+		t.Fatal("Strategy.String wrong")
+	}
+	if Independent.String() != "independent" || Integrated.String() != "integrated" {
+		t.Fatal("Mode.String wrong")
+	}
+	if Strategy(99).String() == "" {
+		t.Fatal("unknown strategy should still render")
+	}
+}
+
+func TestUnknownStrategyError(t *testing.T) {
+	if _, err := fig1Query().SolveMagicCounting(Strategy(99), Independent); err == nil {
+		t.Fatal("unknown strategy should error")
+	}
+	if _, _, err := fig1Query().ReducedSetsFor(Strategy(99), Independent, Options{}); err == nil {
+		t.Fatal("unknown strategy should error")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	res, err := chainQuery(3).SolveCounting()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.String() == "" {
+		t.Fatal("empty Result.String")
+	}
+}
+
+func sortStrings(xs []string) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package core
+
+// levelSet is a counting-style relation: levels[j] holds the node ids
+// with index j, deduplicated per level.
+type levelSet struct {
+	levels [][]int32
+	member []map[int32]bool // per-level membership, parallel to levels
+	pairs  int
+}
+
+func newLevelSet() *levelSet { return &levelSet{} }
+
+// add inserts (j, v) and reports whether it was new.
+func (s *levelSet) add(j int, v int32) bool {
+	for len(s.levels) <= j {
+		s.levels = append(s.levels, nil)
+		s.member = append(s.member, make(map[int32]bool))
+	}
+	if s.member[j][v] {
+		return false
+	}
+	s.member[j][v] = true
+	s.levels[j] = append(s.levels[j], v)
+	s.pairs++
+	return true
+}
+
+// has reports whether (j, v) is present.
+func (s *levelSet) has(j int, v int32) bool {
+	return j >= 0 && j < len(s.levels) && s.member[j][v]
+}
+
+// at returns the nodes with index j (nil when out of range).
+func (s *levelSet) at(j int) []int32 {
+	if j < 0 || j >= len(s.levels) {
+		return nil
+	}
+	return s.levels[j]
+}
+
+// maxLevel returns the highest populated index, or -1 when empty.
+func (s *levelSet) maxLevel() int {
+	for j := len(s.levels) - 1; j >= 0; j-- {
+		if len(s.levels[j]) > 0 {
+			return j
+		}
+	}
+	return -1
+}
+
+// countingSets runs the counting-set fixpoint of §2:
+//
+//	CS(0, a).
+//	CS(J+1, X1) :- CS(J, X), L(X, X1).
+//
+// level by level. A level index reaching the number of L-nodes proves
+// a walk through a cycle (pigeonhole), i.e. a recurring node, so the
+// computation stops with ErrUnsafe — this is the guard that turns the
+// paper's "unsafe" verdict into a clean error instead of divergence.
+// iterations receives one tick per level computed.
+func (in *instance) countingSets() (*levelSet, int, error) {
+	cs := newLevelSet()
+	cs.add(0, in.src)
+	n := len(in.lNames)
+	iterations := 0
+	for j := 0; len(cs.at(j)) > 0; j++ {
+		iterations++
+		if j+1 > n {
+			return nil, iterations, ErrUnsafe
+		}
+		for _, x := range cs.at(j) {
+			in.charge(1 + int64(len(in.lOut[x]))) // semijoin CS ⋉ L
+			for _, x1 := range in.lOut[x] {
+				cs.add(j+1, x1)
+			}
+		}
+	}
+	return cs, iterations, nil
+}
+
+// seedExit applies the counting exit rule to every seed pair:
+//
+//	P_C(J, Y) :- seed(J, X), E(X, Y).
+func (in *instance) seedExit(pc, seed *levelSet) {
+	for j := 0; j < len(seed.levels); j++ {
+		for _, x := range seed.at(j) {
+			in.charge(1 + int64(len(in.eOut[x])))
+			for _, y := range in.eOut[x] {
+				pc.add(j, y)
+			}
+		}
+	}
+}
+
+// descend runs the counting descent to completion:
+//
+//	P_C(J-1, Y) :- P_C(J, Y1), R(Y, Y1).
+//	Answer(Y)   :- P_C(0, Y).
+//
+// returning the answer node set and one iteration tick per level.
+func (in *instance) descend(pc *levelSet) (map[int32]bool, int) {
+	iterations := 0
+	for j := pc.maxLevel(); j >= 1; j-- {
+		iterations++
+		for _, y1 := range pc.at(j) {
+			in.charge(1 + int64(len(in.rOut[y1])))
+			for _, y := range in.rOut[y1] {
+				pc.add(j-1, y)
+			}
+		}
+	}
+	answers := make(map[int32]bool)
+	for _, y := range pc.at(0) {
+		answers[y] = true
+	}
+	return answers, iterations
+}
+
+// countingDescent runs the modified rules of the counting method
+// (§2, rules 3–5) from a seed counting set.
+func (in *instance) countingDescent(seed *levelSet) (map[int32]bool, int) {
+	pc := newLevelSet()
+	in.seedExit(pc, seed)
+	return in.descend(pc)
+}
+
+// SolveCounting evaluates the query with the pure counting method
+// (program Q_C of §2). It returns ErrUnsafe when the magic graph is
+// cyclic; Table 1's other rows cost Θ(m_L + n_L·m_R) on regular
+// graphs and Θ(n_L·m_L + n_L·m_R) on acyclic non-regular ones.
+func (q Query) SolveCounting() (*Result, error) {
+	in := build(q)
+	cs, iter, err := in.countingSets()
+	if err != nil {
+		return nil, err
+	}
+	answers, dIter := in.countingDescent(cs)
+	return &Result{
+		Answers: in.answerNames(answers),
+		Stats: Stats{
+			Retrievals:      in.retrievals,
+			Iterations:      iter + dIter,
+			CountingSetSize: cs.pairs,
+		},
+	}, nil
+}
+
+// SolveCountingCyclic evaluates the query with the generalized
+// counting extension sketched in the paper's [MPS]/[SZ2] footnote:
+// counting-set indices are capped at 2·n_L−1 (beyond which every
+// index belongs to a recurring node whose answers a magic-style pass
+// already covers), making the method safe on cyclic graphs at cost
+// Θ(n_L·m_L + n_L²·m_R) — the footnote's Θ(m·n³) family. It exists to
+// reproduce the paper's claim that even safe counting variants lose
+// to magic counting on cyclic data.
+func (q Query) SolveCountingCyclic() (*Result, error) {
+	in := build(q)
+	n := len(in.lNames)
+	bound := 2*n - 1
+	cs := newLevelSet()
+	cs.add(0, in.src)
+	iterations := 0
+	for j := 0; j < bound && len(cs.at(j)) > 0; j++ {
+		iterations++
+		for _, x := range cs.at(j) {
+			in.charge(1 + int64(len(in.lOut[x])))
+			for _, x1 := range in.lOut[x] {
+				cs.add(j+1, x1)
+			}
+		}
+	}
+	// The bounded descent covers every answer whose E-crossing node is
+	// single or multiple: their index sets lie entirely below n.
+	answers, dIter := in.countingDescent(cs)
+	// Nodes holding an index >= n are recurring (pigeonhole): their
+	// index sets are infinite, so no bounded counting pass can cover
+	// them. Close the gap with a magic-style sweep whose exit rule is
+	// seeded only from the recurring nodes, preserving safety.
+	rec := make(map[int32]bool)
+	for j := n; j < len(cs.levels); j++ {
+		for _, v := range cs.at(j) {
+			rec[v] = true
+		}
+	}
+	if len(rec) > 0 {
+		exit := make([]int32, 0, len(rec))
+		for v := range rec {
+			exit = append(exit, v)
+		}
+		sortInt32(exit)
+		pm, mIter := in.magicPairs(exit, in.reachableSet(), nil)
+		for y := range pm.bySource(in.src) {
+			answers[y] = true
+		}
+		dIter += mIter
+	}
+	return &Result{
+		Answers: in.answerNames(answers),
+		Stats: Stats{
+			Retrievals:      in.retrievals,
+			Iterations:      iterations + dIter,
+			CountingSetSize: cs.pairs,
+		},
+	}, nil
+}
+
+func sortInt32(xs []int32) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

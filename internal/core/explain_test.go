@@ -1,0 +1,66 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestExplainIntegratedOnFig2(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Explain(&buf, fig2Query(), Multiple, Integrated); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"strategy=multiple mode=integrated",
+		"classification: cyclic",
+		"single:", "multiple:", "recurring:",
+		"i_x = 2",
+		"RM = [g h i j k l]",
+		"theorem conditions",
+		"(0,source) ∈ RC",
+		"step 2 (integrated)",
+		"answers:",
+		"counting unsafe",
+		"magic set",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in explain output:\n%s", want, out)
+		}
+	}
+}
+
+func TestExplainIndependentOnRegular(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Explain(&buf, chainQuery(6), Basic, Independent); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "classification: regular") {
+		t.Fatalf("missing regular classification:\n%s", out)
+	}
+	if !strings.Contains(out, "step 2 (independent)") {
+		t.Fatalf("missing independent plan:\n%s", out)
+	}
+	if !strings.Contains(out, "for comparison: counting") {
+		t.Fatalf("missing comparison:\n%s", out)
+	}
+}
+
+func TestExplainAcyclic(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Explain(&buf, fig1Acyclic(), Single, Integrated); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "acyclic non-regular") {
+		t.Fatalf("missing acyclic classification:\n%s", buf.String())
+	}
+}
+
+func TestExplainUnknownStrategy(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Explain(&buf, chainQuery(3), Strategy(99), Independent); err == nil {
+		t.Fatal("unknown strategy should error")
+	}
+}

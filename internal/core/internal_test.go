@@ -1,0 +1,254 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"magiccounting/internal/graph"
+)
+
+func TestLevelSetBasics(t *testing.T) {
+	s := newLevelSet()
+	if s.maxLevel() != -1 {
+		t.Fatal("empty set should have maxLevel -1")
+	}
+	if !s.add(2, 7) || s.add(2, 7) {
+		t.Fatal("add dedupe wrong")
+	}
+	if !s.add(0, 1) || !s.add(2, 8) {
+		t.Fatal("add failed")
+	}
+	if s.pairs != 3 {
+		t.Fatalf("pairs = %d", s.pairs)
+	}
+	if !s.has(2, 7) || s.has(1, 7) || s.has(-1, 7) || s.has(99, 7) {
+		t.Fatal("has wrong")
+	}
+	if len(s.at(2)) != 2 || len(s.at(1)) != 0 || s.at(-3) != nil || s.at(50) != nil {
+		t.Fatal("at wrong")
+	}
+	if s.maxLevel() != 2 {
+		t.Fatalf("maxLevel = %d", s.maxLevel())
+	}
+}
+
+func TestPairSetBasics(t *testing.T) {
+	p := newPairSet(3)
+	if !p.add(0, 5) || p.add(0, 5) || !p.add(0, 6) || !p.add(2, 5) {
+		t.Fatal("add dedupe wrong")
+	}
+	if p.count != 3 {
+		t.Fatalf("count = %d", p.count)
+	}
+	if len(p.bySource(0)) != 2 || p.bySource(1) != nil {
+		t.Fatal("bySource wrong")
+	}
+}
+
+func TestBuildInternsSeparateDomains(t *testing.T) {
+	q := Query{
+		L:      []Pair{P("n", "m")},
+		E:      []Pair{P("n", "n")}, // the value n occurs in both domains
+		R:      []Pair{P("m", "n")},
+		Source: "n",
+	}
+	in := build(q)
+	if len(in.lNames) != 2 {
+		t.Fatalf("L domain = %v", in.lNames)
+	}
+	if len(in.rNames) != 2 {
+		t.Fatalf("R domain = %v", in.rNames)
+	}
+	// Same constant, two nodes — the paper's "two distinct associated
+	// nodes" requirement.
+	if in.lNames[0] != "n" || in.rNames[0] != "n" {
+		t.Fatalf("interning order wrong: %v / %v", in.lNames, in.rNames)
+	}
+}
+
+func TestBuildDedupesFacts(t *testing.T) {
+	q := Query{
+		L:      []Pair{P("a", "b"), P("a", "b"), P("a", "b")},
+		E:      []Pair{P("a", "x"), P("a", "x")},
+		R:      []Pair{P("y", "x"), P("y", "x")},
+		Source: "a",
+	}
+	in := build(q)
+	if len(in.lOut[0]) != 1 || len(in.eOut[0]) != 1 {
+		t.Fatal("duplicate facts not collapsed")
+	}
+	rx := int32(-1)
+	for id, n := range in.rNames {
+		if n == "x" {
+			rx = int32(id)
+		}
+	}
+	if len(in.rOut[rx]) != 1 {
+		t.Fatal("duplicate R facts not collapsed")
+	}
+}
+
+func TestFlaggedBFSOnDiamondDoesNotFlag(t *testing.T) {
+	// Two equal-length paths re-derive d at the same level: no flag.
+	q := Query{L: []Pair{P("a", "b"), P("a", "c"), P("b", "d"), P("c", "d")}, Source: "a"}
+	in := build(q)
+	_, flagged, _, _ := in.flaggedBFS()
+	for v, f := range flagged {
+		if f {
+			t.Fatalf("node %s flagged on a regular diamond", in.lNames[v])
+		}
+	}
+}
+
+func TestFlaggedBFSShortcutFlagsAndIX(t *testing.T) {
+	q := Query{L: []Pair{P("a", "b"), P("b", "c"), P("a", "c"), P("c", "d")}, Source: "a"}
+	in := build(q)
+	firstIdx, flagged, ix, _ := in.flaggedBFS()
+	var cID int32 = -1
+	for v, n := range in.lNames {
+		if n == "c" {
+			cID = int32(v)
+		}
+	}
+	if !flagged[cID] {
+		t.Fatal("c should be flagged (distances 1 and 2)")
+	}
+	if ix != firstIdx[cID] {
+		t.Fatalf("ix = %d, want first index of c (%d)", ix, firstIdx[cID])
+	}
+}
+
+// Step 1 of every strategy classifies nodes consistently with the
+// graph-package oracle on random magic graphs.
+func TestStep1AgreesWithOracleProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := randomQuery(rng)
+		in := build(q)
+		oracle := in.lGraph().Classify(int(in.src))
+		// Multiple method: RM = exactly the non-single reachable nodes.
+		rsM := in.step1Multiple(false)
+		for v := range in.lNames {
+			wantRM := oracle.Class[v] == graph.Multiple || oracle.Class[v] == graph.Recurring
+			if rsM.RM[v] != wantRM {
+				t.Logf("seed %d: multiple RM[%s] = %v, oracle %v", seed, in.lNames[v], rsM.RM[v], oracle.Class[v])
+				return false
+			}
+		}
+		// Recurring method: RM = exactly the recurring nodes.
+		in2 := build(q)
+		rsR := in2.step1RecurringNaive(false)
+		for v := range in2.lNames {
+			wantRM := oracle.Class[v] == graph.Recurring
+			if rsR.RM[v] != wantRM {
+				t.Logf("seed %d: recurring RM[%s] = %v, oracle %v", seed, in2.lNames[v], rsR.RM[v], oracle.Class[v])
+				return false
+			}
+		}
+		// Recurring RC must carry complete index sets.
+		for v := range in2.lNames {
+			if rsR.RM[v] || oracle.Class[v] == graph.Unreachable {
+				continue
+			}
+			got := multiIndices(rsR.RC, int32(v))
+			want := oracle.Indices[v]
+			if len(got) != len(want) {
+				t.Logf("seed %d: indices of %s = %v, want %v", seed, in2.lNames[v], got, want)
+				return false
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The basic/single shared BFS runs in O(m_L): the charge is linear in
+// arcs even on cyclic graphs.
+func TestFlaggedBFSLinearCost(t *testing.T) {
+	for _, n := range []int{50, 100, 200} {
+		q := Query{Source: nodeName(0)}
+		for i := 0; i < n; i++ {
+			q.L = append(q.L, P(nodeName(i), nodeName((i+1)%n)))
+		}
+		in := build(q)
+		in.flaggedBFS()
+		if in.retrievals > int64(6*n) {
+			t.Fatalf("n=%d: flaggedBFS charged %d, want O(n)", n, in.retrievals)
+		}
+	}
+}
+
+// The multiple method's two-occurrence fixpoint also stays linear on
+// cyclic graphs (each node expands at most twice).
+func TestStep1MultipleLinearCostOnCycles(t *testing.T) {
+	for _, n := range []int{50, 100, 200} {
+		q := Query{Source: nodeName(0)}
+		for i := 0; i < n; i++ {
+			q.L = append(q.L, P(nodeName(i), nodeName((i+1)%n)))
+		}
+		in := build(q)
+		in.step1Multiple(false)
+		if in.retrievals > int64(10*n) {
+			t.Fatalf("n=%d: step1Multiple charged %d, want O(n)", n, in.retrievals)
+		}
+	}
+}
+
+// The recurring naive Step 1 is superlinear (Θ(nL·mL)) on cycles —
+// the cost the paper concedes and the SCC variant avoids.
+func TestStep1RecurringNaiveSuperlinearOnCycles(t *testing.T) {
+	// A cycle with a chord at every even node: each node then has
+	// Θ(n) distinct walk lengths below the 2K−1 bound, so the counting
+	// levels hold Θ(n) nodes each and the bounded fixpoint does
+	// Θ(nL·mL) work (a pure cycle would keep one node per level).
+	chordCycle := func(n int) Query {
+		q := Query{Source: nodeName(0)}
+		for i := 0; i < n; i++ {
+			q.L = append(q.L, P(nodeName(i), nodeName((i+1)%n)))
+			if i%2 == 0 && i+2 < n {
+				q.L = append(q.L, P(nodeName(i), nodeName(i+2)))
+			}
+		}
+		return q
+	}
+	cost := func(n int) int64 {
+		in := build(chordCycle(n))
+		in.step1RecurringNaive(false)
+		return in.retrievals
+	}
+	c100, c200 := cost(100), cost(200)
+	if c200 < 3*c100 {
+		t.Fatalf("recurring naive Step 1 should grow superlinearly: %d -> %d", c100, c200)
+	}
+	sccCost := func(n int) int64 {
+		in := build(chordCycle(n))
+		in.step1RecurringSCC(false)
+		return in.retrievals
+	}
+	if s200 := sccCost(200); s200 > c200/4 {
+		t.Fatalf("SCC Step 1 (%d) should be far below naive (%d)", s200, c200)
+	}
+}
+
+func TestWriteMagicGraphDOT(t *testing.T) {
+	var buf bytes.Buffer
+	if err := fig2Query().WriteMagicGraphDOT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"magic_graph", `"a" -> "b"`, "salmon", "orange", "palegreen"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,211 @@
+// Package core implements the query-evaluation methods of Saccà &
+// Zaniolo, "Magic Counting Methods" (SIGMOD 1987), for the canonical
+// strongly linear query class
+//
+//	?- P(a, Y).
+//	P(X, Y) :- E(X, Y).
+//	P(X, Y) :- L(X, X1), P(X1, Y1), R(Y, Y1).
+//
+// It provides the two baselines — the counting method and the magic
+// set method (§2) — and the full magic counting family: the basic,
+// single, multiple, and recurring strategies for constructing the
+// reduced sets RM and RC (§§6–9), each in independent (§4) and
+// integrated (§5) mode.
+//
+// Costs are accounted in the paper's unit, tuple retrievals from the
+// database relations L, E, and R (plus dedup probes on derived
+// relations), so the Θ bounds of Tables 1–5 can be measured directly.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"magiccounting/internal/graph"
+)
+
+// ErrUnsafe reports that the pure counting method would not terminate:
+// the magic graph has a recurring node, so the counting set is
+// infinite (the "unsafe" entry of Table 1).
+var ErrUnsafe = errors.New("core: counting method is unsafe (cyclic magic graph)")
+
+// Pair is one fact of a binary database relation.
+type Pair struct {
+	From, To string
+}
+
+// P is shorthand for constructing a Pair.
+func P(from, to string) Pair { return Pair{From: from, To: to} }
+
+// Query is an instance of the canonical strongly linear query: the
+// three database relations and the bound constant of the query goal
+// ?- P(Source, Y).
+//
+// In the same-generation reading, L and R are both the parent
+// relation and E is the identity (everyone is their own generation
+// peer); the general form lets the three relations differ.
+type Query struct {
+	L      []Pair
+	E      []Pair
+	R      []Pair
+	Source string
+}
+
+// SameGeneration builds the classic instance: L = R = parent and
+// E = {(x, x) | x occurs anywhere in parent or equals source}.
+func SameGeneration(parent []Pair, source string) Query {
+	seen := make(map[string]bool)
+	var e []Pair
+	add := func(x string) {
+		if !seen[x] {
+			seen[x] = true
+			e = append(e, Pair{x, x})
+		}
+	}
+	add(source)
+	for _, p := range parent {
+		add(p.From)
+		add(p.To)
+	}
+	return Query{L: parent, E: e, R: parent, Source: source}
+}
+
+// instance is the interned graph form of a Query. L-nodes and R-nodes
+// live in separate id spaces, as in the paper's query graph: the same
+// constant occurring in L and in R yields two distinct nodes.
+type instance struct {
+	lNames []string
+	rNames []string
+
+	lOut [][]int32 // G_L arcs: L-node -> L-nodes
+	lIn  [][]int32 // reverse of lOut
+	eOut [][]int32 // G_E arcs: L-node -> R-nodes
+	rOut [][]int32 // descent arcs: rOut[c] = {b : (b, c) in R}
+
+	src int32 // source L-node
+
+	retrievals int64 // tuple retrievals charged so far
+}
+
+// build interns a query into graph form. The source and E-arc
+// endpoints are interned even when they do not occur in L or R, so
+// answers that the paper's pure graph formalism would not draw (exit
+// tuples leaving the L/R domains) are still produced.
+func build(q Query) *instance {
+	in := &instance{}
+	lid := make(map[string]int32)
+	rid := make(map[string]int32)
+	internL := func(name string) int32 {
+		if id, ok := lid[name]; ok {
+			return id
+		}
+		id := int32(len(in.lNames))
+		lid[name] = id
+		in.lNames = append(in.lNames, name)
+		in.lOut = append(in.lOut, nil)
+		in.lIn = append(in.lIn, nil)
+		in.eOut = append(in.eOut, nil)
+		return id
+	}
+	internR := func(name string) int32 {
+		if id, ok := rid[name]; ok {
+			return id
+		}
+		id := int32(len(in.rNames))
+		rid[name] = id
+		in.rNames = append(in.rNames, name)
+		in.rOut = append(in.rOut, nil)
+		return id
+	}
+	in.src = internL(q.Source)
+	type arc struct{ u, v int32 }
+	addUnique := func(seen map[arc]bool, u, v int32) bool {
+		a := arc{u, v}
+		if seen[a] {
+			return false
+		}
+		seen[a] = true
+		return true
+	}
+	lSeen := make(map[arc]bool)
+	for _, p := range q.L {
+		u, v := internL(p.From), internL(p.To)
+		if addUnique(lSeen, u, v) {
+			in.lOut[u] = append(in.lOut[u], v)
+			in.lIn[v] = append(in.lIn[v], u)
+		}
+	}
+	eSeen := make(map[arc]bool)
+	for _, p := range q.E {
+		u, v := internL(p.From), internR(p.To)
+		if addUnique(eSeen, u, v) {
+			in.eOut[u] = append(in.eOut[u], v)
+		}
+	}
+	rSeen := make(map[arc]bool)
+	for _, p := range q.R {
+		b, c := internR(p.From), internR(p.To)
+		if addUnique(rSeen, b, c) {
+			in.rOut[c] = append(in.rOut[c], b)
+		}
+	}
+	return in
+}
+
+// charge adds n tuple retrievals.
+func (in *instance) charge(n int64) { in.retrievals += n }
+
+// lGraph converts the magic graph G_L to a graph.Digraph for analysis.
+func (in *instance) lGraph() *graph.Digraph {
+	g := graph.NewDigraph(len(in.lNames))
+	for u := range in.lOut {
+		for _, v := range in.lOut[u] {
+			g.AddArc(u, int(v))
+		}
+	}
+	return g
+}
+
+// answerNames maps a set of R-node ids to sorted constant names.
+func (in *instance) answerNames(set map[int32]bool) []string {
+	out := make([]string, 0, len(set))
+	for id := range set {
+		out = append(out, in.rNames[id])
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats describes one method run: its cost in the paper's unit and
+// the sizes of the intermediate sets.
+type Stats struct {
+	// Retrievals is the total tuple-retrieval cost.
+	Retrievals int64
+	// Iterations counts fixpoint rounds across all phases.
+	Iterations int
+	// MagicSetSize is |MS| where the method computes it (0 otherwise).
+	MagicSetSize int
+	// CountingSetSize is the number of (index, node) pairs in the
+	// counting set or reduced counting set used.
+	CountingSetSize int
+	// RMSize and RCSize are the reduced-set sizes for magic counting
+	// methods (RCSize counts (index, node) pairs).
+	RMSize, RCSize int
+	// Regular reports whether Step 1 found the magic graph regular
+	// (all nodes single), where that is determined.
+	Regular bool
+}
+
+// Result is a method's answer set with its statistics.
+type Result struct {
+	// Answers holds the sorted constants y with P(source, y).
+	Answers []string
+	Stats   Stats
+}
+
+// String summarizes the result for logs and examples.
+func (r *Result) String() string {
+	return fmt.Sprintf("%d answers, %d tuple retrievals, %d iterations",
+		len(r.Answers), r.Stats.Retrievals, r.Stats.Iterations)
+}

@@ -1,0 +1,127 @@
+package core
+
+import "fmt"
+
+// Options tunes a magic counting run.
+type Options struct {
+	// SCCStep1 replaces the recurring strategy's §9 bounded fixpoint
+	// with the linear-time Tarjan variant the paper sketches. It only
+	// affects Strategy == Recurring.
+	SCCStep1 bool
+}
+
+// SolveMagicCounting evaluates the query with the magic counting
+// method selected by strategy and mode. All eight family members are
+// correct and safe on every database (Theorems 1 and 2 plus
+// Propositions 4–7).
+func (q Query) SolveMagicCounting(strategy Strategy, mode Mode) (*Result, error) {
+	return q.SolveMagicCountingOpts(strategy, mode, Options{})
+}
+
+// SolveMagicCountingOpts is SolveMagicCounting with explicit options.
+func (q Query) SolveMagicCountingOpts(strategy Strategy, mode Mode, opts Options) (*Result, error) {
+	in := build(q)
+	integrated := mode == Integrated
+	var rs *ReducedSets
+	switch strategy {
+	case Basic:
+		rs = in.step1Basic(integrated)
+	case Single:
+		rs = in.step1Single(integrated)
+	case Multiple:
+		rs = in.step1Multiple(integrated)
+	case Recurring:
+		if opts.SCCStep1 {
+			rs = in.step1RecurringSCC(integrated)
+		} else {
+			rs = in.step1RecurringNaive(integrated)
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown strategy %v", strategy)
+	}
+	var answers map[int32]bool
+	var iter int
+	if integrated {
+		answers, iter = in.solveIntegrated(rs)
+	} else {
+		answers, iter = in.solveIndependent(rs)
+	}
+	rm, rc := rs.counts()
+	msSize := 0
+	for _, inMS := range rs.MS {
+		if inMS {
+			msSize++
+		}
+	}
+	return &Result{
+		Answers: in.answerNames(answers),
+		Stats: Stats{
+			Retrievals:      in.retrievals,
+			Iterations:      rs.Iterations + iter,
+			MagicSetSize:    msSize,
+			CountingSetSize: rs.RC.pairs,
+			RMSize:          rm,
+			RCSize:          rc,
+			Regular:         rs.Regular,
+		},
+	}, nil
+}
+
+// solveIndependent runs Step 2 of the independent methods (§4): the
+// counting part seeded by RC and the magic part with exit rule
+// restricted to RM but recursion over the full magic set, answers
+// unioned.
+func (in *instance) solveIndependent(rs *ReducedSets) (map[int32]bool, int) {
+	answers, iter := in.countingDescent(rs.RC)
+	rm := rs.rmList()
+	if len(rm) > 0 {
+		pm, mIter := in.magicPairs(rm, rs.MS, nil)
+		iter += mIter
+		for y := range pm.bySource(in.src) {
+			answers[y] = true
+		}
+	}
+	return answers, iter
+}
+
+// solveIntegrated runs Step 2 of the integrated methods (§5): the
+// magic part first, confined to RM, then the transfer rule
+//
+//	P_C(J, Y) :- RC(J, X), L(X, X1), P_M(X1, Y1), R(Y, Y1).
+//
+// moves its results into the counting descent, which alone produces
+// the answer. Correctness relies on RM being closed under
+// L-successors, an invariant of all four Step 1 constructions
+// (successors of non-single nodes are non-single; successors of
+// recurring nodes are recurring).
+func (in *instance) solveIntegrated(rs *ReducedSets) (map[int32]bool, int) {
+	iter := 0
+	pc := newLevelSet()
+	rm := rs.rmList()
+	if len(rm) > 0 {
+		// The transfer rule (§5, rule 3) rides along the magic part's
+		// delta expansion: whenever a pair (x1, y1) is expanded and a
+		// predecessor x lies in RC, one R step below y1 enters the
+		// counting descent at each of x's indices. Sharing the L probe
+		// with the recursive rule keeps rule 3's cost inside the magic
+		// part's Θ bound, as the paper's analysis assumes.
+		rcIdx := rs.rcIndexByNode()
+		_, mIter := in.magicPairs(rm, rs.RM, func(x, y1 int32) {
+			levels := rcIdx[x]
+			if len(levels) == 0 {
+				return
+			}
+			in.charge(1 + int64(len(in.rOut[y1])))
+			for _, y := range in.rOut[y1] {
+				for _, j := range levels {
+					pc.add(j, y)
+				}
+			}
+		})
+		iter += mIter
+	}
+	// Counting exit rule over RC, then the shared descent.
+	in.seedExit(pc, rs.RC)
+	answers, dIter := in.descend(pc)
+	return answers, iter + dIter
+}

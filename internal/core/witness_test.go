@@ -1,0 +1,240 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWitnessFig1Answers(t *testing.T) {
+	q := fig1Query()
+	for _, ans := range fig1Answers {
+		p, err := Witness(q, ans)
+		if err != nil {
+			t.Fatalf("%s: %v", ans, err)
+		}
+		if err := VerifyProof(q, p); err != nil {
+			t.Fatalf("%s: invalid proof %v: %v", ans, p, err)
+		}
+		if p.RPath[len(p.RPath)-1] != ans {
+			t.Fatalf("%s: proof ends at %s", ans, p.RPath[len(p.RPath)-1])
+		}
+	}
+}
+
+func TestWitnessPaperPathForB5(t *testing.T) {
+	// The paper: "b5 is in the answer because of the path a, a1, b3, b5".
+	p, err := Witness(fig1Query(), "b5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.K() != 1 {
+		t.Fatalf("k = %d, want 1", p.K())
+	}
+	if p.LPath[1] != "a1" || p.Crossing.To != "b3" || p.RPath[1] != "b5" {
+		t.Fatalf("proof = %v, want the paper's path a,a1,b3,b5", p)
+	}
+}
+
+func TestWitnessUsesCyclicRPathForB3(t *testing.T) {
+	// b3 is only reachable through the self-loop at b8 (k = 3).
+	p, err := Witness(fig1Query(), "b3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyProof(fig1Query(), p); err != nil {
+		t.Fatal(err)
+	}
+	if p.K() != 3 {
+		t.Fatalf("k = %d, want 3 (via a,a1,a3,a5 and the b8 descent)", p.K())
+	}
+}
+
+func TestWitnessNonAnswer(t *testing.T) {
+	q := fig1Query()
+	if _, err := Witness(q, "b6"); err == nil {
+		t.Fatal("b6 is not an answer")
+	}
+	if _, err := Witness(q, "nowhere"); err == nil {
+		t.Fatal("unknown constant should error")
+	}
+}
+
+func TestWitnessOnCyclicMagicGraph(t *testing.T) {
+	q := fig1Cyclic()
+	for _, ans := range fig1Answers {
+		p, err := Witness(q, ans)
+		if err != nil {
+			t.Fatalf("%s: %v", ans, err)
+		}
+		if err := VerifyProof(q, p); err != nil {
+			t.Fatalf("%s: %v", ans, err)
+		}
+	}
+}
+
+// Property: every answer of a random query has a verifiable witness,
+// and no non-answer does.
+func TestWitnessCompleteAndSoundProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := randomQuery(rng)
+		res, err := q.SolveNaive()
+		if err != nil {
+			return false
+		}
+		isAnswer := map[string]bool{}
+		for _, a := range res.Answers {
+			isAnswer[a] = true
+		}
+		for _, a := range res.Answers {
+			p, err := Witness(q, a)
+			if err != nil {
+				t.Logf("seed %d: answer %s has no witness: %v", seed, a, err)
+				return false
+			}
+			if err := VerifyProof(q, p); err != nil {
+				t.Logf("seed %d: invalid proof for %s: %v", seed, a, err)
+				return false
+			}
+		}
+		// Probe a few non-answers.
+		for i := 0; i < 3; i++ {
+			name := rName(rng.Intn(7))
+			if isAnswer[name] {
+				continue
+			}
+			if _, err := Witness(q, name); err == nil {
+				t.Logf("seed %d: non-answer %s got a witness", seed, name)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVerifyProofRejectsTampering(t *testing.T) {
+	q := fig1Query()
+	p, err := Witness(q, "b5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := *p
+	tampered.LPath = append([]string{}, p.LPath...)
+	tampered.LPath[0] = "a2"
+	if err := VerifyProof(q, &tampered); err == nil {
+		t.Error("wrong source not detected")
+	}
+	tampered2 := *p
+	tampered2.Crossing = Pair{From: "a1", To: "b8"}
+	if err := VerifyProof(q, &tampered2); err == nil {
+		t.Error("wrong crossing not detected")
+	}
+	tampered3 := *p
+	tampered3.RPath = []string{"b3"}
+	if err := VerifyProof(q, &tampered3); err == nil {
+		t.Error("unequal path lengths not detected")
+	}
+}
+
+func TestProofString(t *testing.T) {
+	p, err := Witness(fig1Query(), "b5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.String() == "" {
+		t.Fatal("empty proof string")
+	}
+}
+
+// The Theorem 1 tightness construction from the paper's proof: drop a
+// node b from both reduced sets, extend the database with a fresh
+// chain hanging off b (the proof's adversarial instance), and the
+// method misses the new answer — while CheckReducedSets flags the
+// violation beforehand.
+func TestTheoremOneTightness(t *testing.T) {
+	q := fig2Query()
+	rs, names, err := q.ReducedSetsFor(Multiple, Independent, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Remove node k (a multiple node in RC... it is in RM for the
+	// multiple method; pick f, a single node in RC) from RC.
+	var fID int32 = -1
+	for v, n := range names {
+		if n == "f" {
+			fID = int32(v)
+		}
+	}
+	for j := range rs.RC.levels {
+		if rs.RC.member[j][fID] {
+			delete(rs.RC.member[j], fID)
+			var kept []int32
+			for _, v := range rs.RC.levels[j] {
+				if v != fID {
+					kept = append(kept, v)
+				}
+			}
+			rs.RC.levels[j] = kept
+			rs.RC.pairs--
+		}
+	}
+	if err := CheckReducedSets(q, rs, Independent); err == nil {
+		t.Fatal("checker should flag the dropped node")
+	}
+	// The proof's construction: attach e-arc f -> w2, R-chain
+	// w2 -> w1 -> w0 (f is at distance 2, so k = 2 descent steps land
+	// on w0), making w0 an answer the crippled sets must miss.
+	adv := q
+	adv.E = append(append([]Pair(nil), q.E...), P("f", "w2"))
+	adv.R = append(append([]Pair(nil), q.R...), P("w1", "w2"), P("w0", "w1"))
+	want, err := adv.SolveNaive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !containsString(want.Answers, "w0") {
+		t.Fatalf("w0 should be an answer of the adversarial instance: %v", want.Answers)
+	}
+	got, err := SolveWithReducedSets(adv, rs, Independent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if containsString(got.Answers, "w0") {
+		t.Fatal("crippled reduced sets should miss w0 (Theorem 1 tightness)")
+	}
+}
+
+// With valid reduced sets, SolveWithReducedSets matches the normal
+// entry point.
+func TestSolveWithReducedSetsMatchesSolver(t *testing.T) {
+	q := fig2Query()
+	for _, spec := range allMagicCountingSpecs() {
+		rs, _, err := q.ReducedSetsFor(spec.Strategy, spec.Mode, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, err := SolveWithReducedSets(q, rs, spec.Mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		normal, err := q.SolveMagicCounting(spec.Strategy, spec.Mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalAnswers(direct.Answers, normal.Answers) {
+			t.Fatalf("%v/%v: %v vs %v", spec.Strategy, spec.Mode, direct.Answers, normal.Answers)
+		}
+	}
+}
+
+func containsString(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

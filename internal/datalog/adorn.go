@@ -1,0 +1,210 @@
+package datalog
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Adornment is a bound/free annotation for a predicate's argument
+// positions: a string over {'b', 'f'}, one rune per argument.
+type Adornment string
+
+// AdornmentFor computes the adornment of atom a given the set of bound
+// variables: constants and bound variables are 'b', the rest 'f'.
+func AdornmentFor(a Atom, bound map[string]bool) Adornment {
+	var b strings.Builder
+	for _, t := range a.Args {
+		if !t.IsVar() || bound[t.Var] {
+			b.WriteByte('b')
+		} else {
+			b.WriteByte('f')
+		}
+	}
+	return Adornment(b.String())
+}
+
+// BoundPositions returns the indices adorned 'b'.
+func (ad Adornment) BoundPositions() []int {
+	var out []int
+	for i := 0; i < len(ad); i++ {
+		if ad[i] == 'b' {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// AllFree reports whether no argument is bound.
+func (ad Adornment) AllFree() bool { return !strings.Contains(string(ad), "b") }
+
+// AdornedName renders the internal predicate name for pred adorned
+// with ad, e.g. sg with "bf" becomes "sg__bf". The double underscore
+// keeps the name parseable and out of the way of user predicates.
+func AdornedName(pred string, ad Adornment) string {
+	return pred + "__" + string(ad)
+}
+
+// AdornedProgram is the result of propagating query bindings through
+// an IDB: every intensional predicate is split per adornment and each
+// rule is specialized with a left-to-right sideways information
+// passing strategy.
+type AdornedProgram struct {
+	// Rules are the adorned rules; IDB predicates are renamed with
+	// AdornedName, EDB predicates keep their names.
+	Rules []Rule
+	// QueryPred is the adorned name of the query's predicate.
+	QueryPred string
+	// QueryAdornment is the query's adornment.
+	QueryAdornment Adornment
+	// Goal is the original query atom (unrenamed).
+	Goal Atom
+	// Adornments lists, per original IDB predicate, the adornments
+	// that were generated.
+	Adornments map[string][]Adornment
+}
+
+// Adorn specializes program p for the query goal, whose bound
+// positions are its constant arguments. Only positive IDB literals
+// propagate bindings into recursive calls; negated IDB literals are
+// rejected (the magic rewrites here are defined for positive
+// programs).
+func Adorn(p *Program, goal Atom) (*AdornedProgram, error) {
+	idb := p.IDB()
+	if !idb[goal.Pred] {
+		return nil, fmt.Errorf("datalog: query predicate %s is not defined by any rule", goal.Pred)
+	}
+	for _, r := range p.Rules {
+		for _, l := range r.Body {
+			if l.Negated && idb[l.Atom.Pred] {
+				return nil, fmt.Errorf("datalog: adornment of negated IDB literal %s is not supported", l.Atom)
+			}
+		}
+	}
+	goalAd := AdornmentFor(goal, nil)
+	out := &AdornedProgram{
+		QueryPred:      AdornedName(goal.Pred, goalAd),
+		QueryAdornment: goalAd,
+		Goal:           goal,
+		Adornments:     make(map[string][]Adornment),
+	}
+	type job struct {
+		pred string
+		ad   Adornment
+	}
+	done := make(map[job]bool)
+	queue := []job{{goal.Pred, goalAd}}
+	done[queue[0]] = true
+	for len(queue) > 0 {
+		j := queue[0]
+		queue = queue[1:]
+		out.Adornments[j.pred] = append(out.Adornments[j.pred], j.ad)
+		for _, r := range p.Rules {
+			if r.Head.Pred != j.pred {
+				continue
+			}
+			if len(r.Head.Args) != len(j.ad) {
+				return nil, fmt.Errorf("datalog: adornment %s does not fit %s/%d", j.ad, j.pred, len(r.Head.Args))
+			}
+			ar, newJobs := adornRule(r, j.ad, idb)
+			out.Rules = append(out.Rules, ar)
+			for _, nj := range newJobs {
+				k := job{nj.pred, nj.ad}
+				if !done[k] {
+					done[k] = true
+					queue = append(queue, k)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// adornRule specializes one rule for a head adornment, renaming the
+// head and every IDB body literal, and returns the adorned IDB body
+// predicates that now need their own rules.
+func adornRule(r Rule, headAd Adornment, idb map[string]bool) (Rule, []struct {
+	pred string
+	ad   Adornment
+}) {
+	bound := make(map[string]bool)
+	for i, t := range r.Head.Args {
+		if headAd[i] == 'b' && t.IsVar() {
+			bound[t.Var] = true
+		}
+	}
+	adorned := Rule{Head: Atom{Pred: AdornedName(r.Head.Pred, headAd), Args: r.Head.Args}}
+	var jobs []struct {
+		pred string
+		ad   Adornment
+	}
+	for _, l := range r.Body {
+		a := l.Atom
+		switch {
+		case a.IsBuiltin():
+			adorned.Body = append(adorned.Body, l)
+			if !l.Negated {
+				propagateBuiltinBindings(a, bound)
+			}
+		case idb[a.Pred] && !l.Negated:
+			ad := AdornmentFor(a, bound)
+			adorned.Body = append(adorned.Body, Pos(Atom{Pred: AdornedName(a.Pred, ad), Args: a.Args}))
+			jobs = append(jobs, struct {
+				pred string
+				ad   Adornment
+			}{a.Pred, ad})
+			bindAll(a, bound)
+		default:
+			// EDB literal (or negated EDB): keep as is. Positive
+			// literals bind their variables.
+			adorned.Body = append(adorned.Body, l)
+			if !l.Negated {
+				bindAll(a, bound)
+			}
+		}
+	}
+	return adorned, jobs
+}
+
+func bindAll(a Atom, bound map[string]bool) {
+	for _, t := range a.Args {
+		if t.IsVar() {
+			bound[t.Var] = true
+		}
+	}
+}
+
+// propagateBuiltinBindings marks variables that an evaluable builtin
+// can compute from already-bound inputs: #eq binds either side from
+// the other, #add binds the third argument from any two.
+func propagateBuiltinBindings(a Atom, bound map[string]bool) {
+	known := func(t Term) bool { return !t.IsVar() || bound[t.Var] }
+	mark := func(t Term) {
+		if t.IsVar() {
+			bound[t.Var] = true
+		}
+	}
+	switch a.Pred {
+	case BuiltinEq:
+		if len(a.Args) == 2 {
+			if known(a.Args[0]) {
+				mark(a.Args[1])
+			} else if known(a.Args[1]) {
+				mark(a.Args[0])
+			}
+		}
+	case BuiltinAdd:
+		if len(a.Args) == 3 {
+			kn := 0
+			for _, t := range a.Args {
+				if known(t) {
+					kn++
+				}
+			}
+			if kn >= 2 {
+				for _, t := range a.Args {
+					mark(t)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,306 @@
+// Package datalog defines the logic-language layer of the deductive
+// database: terms, atoms, rules and programs, a text parser, safety
+// (range-restriction) and stratification checks, and the bound/free
+// adornment pass that the magic-set and counting rewrites build on.
+//
+// The dialect is positive Datalog with stratified negation and a small
+// set of arithmetic builtins (#add and comparisons) — exactly what the
+// counting rewrites of Saccà & Zaniolo's magic counting paper require
+// for their level indices J+1 / J-1.
+package datalog
+
+import (
+	"fmt"
+	"strings"
+
+	"magiccounting/internal/relation"
+)
+
+// Term is a variable or a constant. Exactly one of the two is active:
+// a Term with a nonempty Var name is a variable, otherwise it is the
+// constant Const.
+type Term struct {
+	Var   string
+	Const relation.Value
+}
+
+// V returns a variable term named name.
+func V(name string) Term {
+	if name == "" {
+		panic("datalog: empty variable name")
+	}
+	return Term{Var: name}
+}
+
+// C returns a constant term holding v.
+func C(v relation.Value) Term { return Term{Const: v} }
+
+// S returns a symbolic-constant term.
+func S(sym string) Term { return C(relation.Sym(sym)) }
+
+// N returns an integer-constant term.
+func N(n int64) Term { return C(relation.Int(n)) }
+
+// IsVar reports whether t is a variable.
+func (t Term) IsVar() bool { return t.Var != "" }
+
+// String renders the term in parser syntax.
+func (t Term) String() string {
+	if t.IsVar() {
+		return t.Var
+	}
+	return t.Const.String()
+}
+
+// Builtin predicate names. They start with '#' so user predicates can
+// never collide with them.
+const (
+	// BuiltinAdd is #add(A, B, C) with meaning C = A + B. It is
+	// evaluable when at least two arguments are bound.
+	BuiltinAdd = "#add"
+	// BuiltinEq is #eq(A, B): equality, can bind one unbound side.
+	BuiltinEq = "#eq"
+	// BuiltinNeq, BuiltinLt, BuiltinLe, BuiltinGt, BuiltinGe are
+	// comparisons requiring both sides bound.
+	BuiltinNeq = "#neq"
+	BuiltinLt  = "#lt"
+	BuiltinLe  = "#le"
+	BuiltinGt  = "#gt"
+	BuiltinGe  = "#ge"
+)
+
+// IsBuiltinPred reports whether pred names a builtin.
+func IsBuiltinPred(pred string) bool {
+	return strings.HasPrefix(pred, "#")
+}
+
+// Atom is a predicate applied to terms: p(t1, ..., tn).
+type Atom struct {
+	Pred string
+	Args []Term
+}
+
+// NewAtom builds an atom.
+func NewAtom(pred string, args ...Term) Atom { return Atom{Pred: pred, Args: args} }
+
+// IsBuiltin reports whether the atom's predicate is a builtin.
+func (a Atom) IsBuiltin() bool { return IsBuiltinPred(a.Pred) }
+
+// IsGround reports whether the atom has no variables.
+func (a Atom) IsGround() bool {
+	for _, t := range a.Args {
+		if t.IsVar() {
+			return false
+		}
+	}
+	return true
+}
+
+// Vars appends the distinct variable names of a to dst in first-
+// occurrence order and returns the extended slice.
+func (a Atom) Vars(dst []string) []string {
+	for _, t := range a.Args {
+		if t.IsVar() && !containsString(dst, t.Var) {
+			dst = append(dst, t.Var)
+		}
+	}
+	return dst
+}
+
+// Tuple converts a ground atom's arguments to a relation tuple. It
+// panics if the atom is not ground.
+func (a Atom) Tuple() relation.Tuple {
+	t := make(relation.Tuple, len(a.Args))
+	for i, arg := range a.Args {
+		if arg.IsVar() {
+			panic("datalog: Tuple on non-ground atom " + a.String())
+		}
+		t[i] = arg.Const
+	}
+	return t
+}
+
+// String renders the atom in parser syntax. Builtins render as their
+// infix form where one exists.
+func (a Atom) String() string {
+	if a.IsBuiltin() && len(a.Args) == 2 {
+		op := map[string]string{
+			BuiltinEq: "=", BuiltinNeq: "!=", BuiltinLt: "<",
+			BuiltinLe: "<=", BuiltinGt: ">", BuiltinGe: ">=",
+		}[a.Pred]
+		if op != "" {
+			return fmt.Sprintf("%s %s %s", a.Args[0], op, a.Args[1])
+		}
+	}
+	if a.Pred == BuiltinAdd && len(a.Args) == 3 {
+		return fmt.Sprintf("%s is %s + %s", a.Args[2], a.Args[0], a.Args[1])
+	}
+	var b strings.Builder
+	b.WriteString(a.Pred)
+	if len(a.Args) > 0 {
+		b.WriteByte('(')
+		for i, t := range a.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(t.String())
+		}
+		b.WriteByte(')')
+	}
+	return b.String()
+}
+
+// Literal is a possibly negated atom appearing in a rule body.
+type Literal struct {
+	Atom    Atom
+	Negated bool
+}
+
+// Pos wraps an atom as a positive literal.
+func Pos(a Atom) Literal { return Literal{Atom: a} }
+
+// Neg wraps an atom as a negated literal.
+func Neg(a Atom) Literal { return Literal{Atom: a, Negated: true} }
+
+// String renders the literal in parser syntax.
+func (l Literal) String() string {
+	if l.Negated {
+		return "not " + l.Atom.String()
+	}
+	return l.Atom.String()
+}
+
+// Rule is a Horn clause Head :- Body. An empty body makes it a fact
+// schema (the head must then be ground to be a fact).
+type Rule struct {
+	Head Atom
+	Body []Literal
+}
+
+// NewRule builds a rule from a head and positive body atoms.
+func NewRule(head Atom, body ...Atom) Rule {
+	r := Rule{Head: head}
+	for _, a := range body {
+		r.Body = append(r.Body, Pos(a))
+	}
+	return r
+}
+
+// Vars returns the distinct variables of the rule in first-occurrence
+// order (head first).
+func (r Rule) Vars() []string {
+	vars := r.Head.Vars(nil)
+	for _, l := range r.Body {
+		vars = l.Atom.Vars(vars)
+	}
+	return vars
+}
+
+// String renders the rule in parser syntax, with terminating period.
+func (r Rule) String() string {
+	if len(r.Body) == 0 {
+		return r.Head.String() + "."
+	}
+	parts := make([]string, len(r.Body))
+	for i, l := range r.Body {
+		parts[i] = l.String()
+	}
+	return r.Head.String() + " :- " + strings.Join(parts, ", ") + "."
+}
+
+// Program is a set of rules, ground facts, and query goals.
+type Program struct {
+	Rules   []Rule
+	Facts   []Atom
+	Queries []Atom
+}
+
+// AddRule appends a rule.
+func (p *Program) AddRule(r Rule) { p.Rules = append(p.Rules, r) }
+
+// AddFact appends a ground fact. It panics on non-ground atoms.
+func (p *Program) AddFact(a Atom) {
+	if !a.IsGround() {
+		panic("datalog: AddFact on non-ground atom " + a.String())
+	}
+	p.Facts = append(p.Facts, a)
+}
+
+// AddQuery appends a query goal.
+func (p *Program) AddQuery(a Atom) { p.Queries = append(p.Queries, a) }
+
+// IDB returns the set of intensional predicates: those defined by at
+// least one rule head.
+func (p *Program) IDB() map[string]bool {
+	idb := make(map[string]bool)
+	for _, r := range p.Rules {
+		idb[r.Head.Pred] = true
+	}
+	return idb
+}
+
+// PredArities returns every predicate's arity, or an error if some
+// predicate is used with two different arities.
+func (p *Program) PredArities() (map[string]int, error) {
+	ar := make(map[string]int)
+	note := func(a Atom) error {
+		if have, ok := ar[a.Pred]; ok && have != len(a.Args) {
+			return fmt.Errorf("datalog: predicate %s used with arity %d and %d", a.Pred, have, len(a.Args))
+		}
+		ar[a.Pred] = len(a.Args)
+		return nil
+	}
+	for _, r := range p.Rules {
+		if err := note(r.Head); err != nil {
+			return nil, err
+		}
+		for _, l := range r.Body {
+			if l.Atom.IsBuiltin() {
+				continue
+			}
+			if err := note(l.Atom); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, f := range p.Facts {
+		if err := note(f); err != nil {
+			return nil, err
+		}
+	}
+	for _, q := range p.Queries {
+		if err := note(q); err != nil {
+			return nil, err
+		}
+	}
+	return ar, nil
+}
+
+// String renders the whole program in parser syntax: facts, rules,
+// then queries.
+func (p *Program) String() string {
+	var b strings.Builder
+	for _, f := range p.Facts {
+		b.WriteString(f.String())
+		b.WriteString(".\n")
+	}
+	for _, r := range p.Rules {
+		b.WriteString(r.String())
+		b.WriteByte('\n')
+	}
+	for _, q := range p.Queries {
+		b.WriteString("?- ")
+		b.WriteString(q.String())
+		b.WriteString(".\n")
+	}
+	return b.String()
+}
+
+func containsString(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,263 @@
+package datalog
+
+import (
+	"strings"
+	"testing"
+
+	"magiccounting/internal/relation"
+)
+
+func TestTermConstructors(t *testing.T) {
+	if !V("X").IsVar() || S("a").IsVar() || N(3).IsVar() {
+		t.Fatal("IsVar wrong")
+	}
+	if V("X").String() != "X" || S("a").String() != "a" || N(3).String() != "3" {
+		t.Fatal("Term String wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("V(\"\") should panic")
+		}
+	}()
+	V("")
+}
+
+func TestAtomBasics(t *testing.T) {
+	a := NewAtom("p", V("X"), S("c"))
+	if a.IsGround() {
+		t.Fatal("atom with variable is not ground")
+	}
+	if !NewAtom("p", S("c")).IsGround() {
+		t.Fatal("constant atom is ground")
+	}
+	if !NewAtom(BuiltinEq, V("X"), N(1)).IsBuiltin() || a.IsBuiltin() {
+		t.Fatal("IsBuiltin wrong")
+	}
+	vars := NewAtom("p", V("X"), V("Y"), V("X")).Vars(nil)
+	if len(vars) != 2 || vars[0] != "X" || vars[1] != "Y" {
+		t.Fatalf("Vars = %v", vars)
+	}
+}
+
+func TestAtomTuple(t *testing.T) {
+	a := NewAtom("p", S("x"), N(2))
+	tup := a.Tuple()
+	if !tup.Equal(relation.Tuple{relation.Sym("x"), relation.Int(2)}) {
+		t.Fatalf("Tuple = %v", tup)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Tuple on non-ground atom should panic")
+		}
+	}()
+	NewAtom("p", V("X")).Tuple()
+}
+
+func TestAtomStringForms(t *testing.T) {
+	cases := []struct {
+		atom Atom
+		want string
+	}{
+		{NewAtom("p", V("X"), S("a")), "p(X, a)"},
+		{NewAtom("q"), "q"},
+		{NewAtom(BuiltinEq, V("X"), N(1)), "X = 1"},
+		{NewAtom(BuiltinNeq, V("X"), V("Y")), "X != Y"},
+		{NewAtom(BuiltinLt, V("X"), N(2)), "X < 2"},
+		{NewAtom(BuiltinAdd, V("J"), N(1), V("J1")), "J1 is J + 1"},
+	}
+	for _, c := range cases {
+		if got := c.atom.String(); got != c.want {
+			t.Errorf("String = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestRuleStringAndVars(t *testing.T) {
+	r := NewRule(NewAtom("anc", V("X"), V("Y")),
+		NewAtom("parent", V("X"), V("Z")),
+		NewAtom("anc", V("Z"), V("Y")))
+	want := "anc(X, Y) :- parent(X, Z), anc(Z, Y)."
+	if r.String() != want {
+		t.Fatalf("Rule String = %q", r.String())
+	}
+	vars := r.Vars()
+	if len(vars) != 3 || vars[0] != "X" || vars[1] != "Y" || vars[2] != "Z" {
+		t.Fatalf("Vars = %v", vars)
+	}
+	fact := Rule{Head: NewAtom("p", S("a"))}
+	if fact.String() != "p(a)." {
+		t.Fatalf("fact String = %q", fact.String())
+	}
+}
+
+func TestLiteralString(t *testing.T) {
+	if Neg(NewAtom("p", V("X"))).String() != "not p(X)" {
+		t.Fatal("negated literal String wrong")
+	}
+}
+
+func TestProgramRoundTripThroughString(t *testing.T) {
+	src := `
+e(a, b).
+e(b, c).
+p(X, Y) :- e(X, Y).
+p(X, Y) :- e(X, Z), p(Z, Y).
+?- p(a, Y).
+`
+	prog := MustParse(src)
+	again := MustParse(prog.String())
+	if prog.String() != again.String() {
+		t.Fatalf("round trip changed program:\n%s\nvs\n%s", prog.String(), again.String())
+	}
+}
+
+func TestProgramIDBAndArities(t *testing.T) {
+	prog := MustParse(`
+p(X, Y) :- e(X, Y).
+q(X) :- p(X, X).
+e(a, b).
+`)
+	idb := prog.IDB()
+	if !idb["p"] || !idb["q"] || idb["e"] {
+		t.Fatalf("IDB = %v", idb)
+	}
+	ar, err := prog.PredArities()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ar["p"] != 2 || ar["q"] != 1 || ar["e"] != 2 {
+		t.Fatalf("arities = %v", ar)
+	}
+}
+
+func TestPredAritiesConflict(t *testing.T) {
+	prog := MustParse(`
+p(X) :- e(X, X).
+p(X, Y) :- e(X, Y).
+`)
+	if _, err := prog.PredArities(); err == nil {
+		t.Fatal("expected arity conflict error")
+	}
+}
+
+func TestAddFactPanicsOnVariables(t *testing.T) {
+	var p Program
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.AddFact(NewAtom("p", V("X")))
+}
+
+func TestParseFacts(t *testing.T) {
+	prog := MustParse(`e(a, b). e(b, 3). n('hello world', "x y").`)
+	if len(prog.Facts) != 3 {
+		t.Fatalf("facts = %v", prog.Facts)
+	}
+	if prog.Facts[1].Args[1].Const != relation.Int(3) {
+		t.Fatal("integer constant not parsed")
+	}
+	if prog.Facts[2].Args[0].Const != relation.Sym("hello world") {
+		t.Fatal("quoted symbol not parsed")
+	}
+}
+
+func TestParseCommentsAndWhitespace(t *testing.T) {
+	prog := MustParse(`
+% line comment
+e(a, b). // another
+/* block
+   comment */ e(b, c).
+`)
+	if len(prog.Facts) != 2 {
+		t.Fatalf("facts = %v", prog.Facts)
+	}
+}
+
+func TestParseNegativeIntegerAndArithmetic(t *testing.T) {
+	prog := MustParse(`lvl(J1, X) :- lvl(J, Y), arc(Y, X), J1 is J + 1.`)
+	r := prog.Rules[0]
+	last := r.Body[2].Atom
+	if last.Pred != BuiltinAdd || last.Args[1].Const != relation.Int(1) {
+		t.Fatalf("is-expr desugar = %v", last)
+	}
+	prog2 := MustParse(`p(X) :- q(X, J), J >= -5.`)
+	cmp := prog2.Rules[0].Body[1].Atom
+	if cmp.Pred != BuiltinGe || cmp.Args[1].Const != relation.Int(-5) {
+		t.Fatalf("comparison = %v", cmp)
+	}
+}
+
+func TestParseSubtractionDesugar(t *testing.T) {
+	prog := MustParse(`down(J1, Y) :- down(J, Z), r(Y, Z), J1 is J - 1.`)
+	a := prog.Rules[0].Body[2].Atom
+	// J1 = J - 1  <=>  J = J1 + 1, i.e. #add(J1, 1, J).
+	if a.Pred != BuiltinAdd || a.Args[0].Var != "J1" || a.Args[2].Var != "J" {
+		t.Fatalf("subtraction desugar = %v", a)
+	}
+}
+
+func TestParseSuccSugar(t *testing.T) {
+	prog := MustParse(`p(J1) :- q(J), succ(J, J1).`)
+	a := prog.Rules[0].Body[1].Atom
+	if a.Pred != BuiltinAdd || a.Args[1].Const != relation.Int(1) {
+		t.Fatalf("succ desugar = %v", a)
+	}
+}
+
+func TestParseNegationAndAnonymousVars(t *testing.T) {
+	prog := MustParse(`ok(X) :- node(X), not bad(X, _), not ugly(X).`)
+	r := prog.Rules[0]
+	if !r.Body[1].Negated || !r.Body[2].Negated {
+		t.Fatal("negation not parsed")
+	}
+	anon := r.Body[1].Atom.Args[1]
+	if !anon.IsVar() || !strings.HasPrefix(anon.Var, "_G") {
+		t.Fatalf("anonymous var = %v", anon)
+	}
+}
+
+func TestParseInfixWithSymbolLHS(t *testing.T) {
+	prog := MustParse(`p(X) :- q(X, Y), a = Y.`)
+	cmp := prog.Rules[0].Body[1].Atom
+	if cmp.Pred != BuiltinEq || cmp.Args[0].Const != relation.Sym("a") {
+		t.Fatalf("infix = %v", cmp)
+	}
+}
+
+func TestParseQueries(t *testing.T) {
+	prog := MustParse(`?- p(a, Y).`)
+	if len(prog.Queries) != 1 || prog.Queries[0].Pred != "p" {
+		t.Fatalf("queries = %v", prog.Queries)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`p(a`,                  // unterminated
+		`p(a) :- q(a)`,         // missing period
+		`p(X).`,                // fact with variable
+		`p(a) :- not X < 3.`,   // negated builtin
+		`?- p(a)`,              // unterminated query
+		`p(a) :- q(a), , r.`,   // stray comma
+		`'unterminated`,        // bad string
+		`p(a) : q(a).`,         // lone colon
+		`p(X) :- q(X), X ? Y.`, // bad operator
+		`X = 3.`,               // builtin as clause head is a parse error
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustParse(`p(a`)
+}

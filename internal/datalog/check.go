@@ -1,0 +1,192 @@
+package datalog
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CheckSafety verifies that every rule of the program is range
+// restricted: each head variable, each variable of a negated literal,
+// and each variable consumed by a comparison builtin must be limited —
+// bound by a positive non-builtin literal, or derivable through #eq /
+// #add chains from limited variables and constants. Unsafe rules would
+// denote infinite relations.
+func (p *Program) CheckSafety() error {
+	for _, r := range p.Rules {
+		if err := checkRuleSafety(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func checkRuleSafety(r Rule) error {
+	limited := make(map[string]bool)
+	for _, l := range r.Body {
+		if !l.Negated && !l.Atom.IsBuiltin() {
+			for _, t := range l.Atom.Args {
+				if t.IsVar() {
+					limited[t.Var] = true
+				}
+			}
+		}
+	}
+	// Propagate through #eq and #add until fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for _, l := range r.Body {
+			if l.Negated || !l.Atom.IsBuiltin() {
+				continue
+			}
+			a := l.Atom
+			known := func(t Term) bool { return !t.IsVar() || limited[t.Var] }
+			mark := func(t Term) {
+				if t.IsVar() && !limited[t.Var] {
+					limited[t.Var] = true
+					changed = true
+				}
+			}
+			switch a.Pred {
+			case BuiltinEq:
+				if len(a.Args) == 2 {
+					if known(a.Args[0]) {
+						mark(a.Args[1])
+					}
+					if known(a.Args[1]) {
+						mark(a.Args[0])
+					}
+				}
+			case BuiltinAdd:
+				if len(a.Args) == 3 {
+					kn := 0
+					for _, t := range a.Args {
+						if known(t) {
+							kn++
+						}
+					}
+					if kn >= 2 {
+						for _, t := range a.Args {
+							mark(t)
+						}
+					}
+				}
+			}
+		}
+	}
+	var unsafe []string
+	need := func(t Term, where string) {
+		if t.IsVar() && !limited[t.Var] {
+			unsafe = append(unsafe, fmt.Sprintf("%s (%s)", t.Var, where))
+		}
+	}
+	for _, t := range r.Head.Args {
+		need(t, "head")
+	}
+	for _, l := range r.Body {
+		if l.Negated {
+			for _, t := range l.Atom.Args {
+				need(t, "negated "+l.Atom.Pred)
+			}
+		} else if l.Atom.IsBuiltin() {
+			for _, t := range l.Atom.Args {
+				need(t, "builtin "+l.Atom.Pred)
+			}
+		}
+	}
+	if len(unsafe) > 0 {
+		sort.Strings(unsafe)
+		return fmt.Errorf("datalog: unsafe rule %q: unlimited variables %v", r.String(), dedupeStrings(unsafe))
+	}
+	return nil
+}
+
+// Stratify partitions the program's predicates into strata such that
+// every positive dependency stays within or below a predicate's
+// stratum and every negative dependency comes from a strictly lower
+// stratum. It returns stratum numbers (0-based; EDB predicates get 0)
+// or an error if the program has negation through recursion.
+func (p *Program) Stratify() (map[string]int, error) {
+	stratum := make(map[string]int)
+	preds := make(map[string]bool)
+	for _, r := range p.Rules {
+		preds[r.Head.Pred] = true
+		for _, l := range r.Body {
+			if !l.Atom.IsBuiltin() {
+				preds[l.Atom.Pred] = true
+			}
+		}
+	}
+	for pr := range preds {
+		stratum[pr] = 0
+	}
+	// Iterate stratum constraints to fixpoint; more than |preds|
+	// increments of any predicate proves a negative cycle.
+	limit := len(preds) + 1
+	for changed, rounds := true, 0; changed; rounds++ {
+		if rounds > limit {
+			return nil, fmt.Errorf("datalog: program is not stratifiable (negation through recursion)")
+		}
+		changed = false
+		for _, r := range p.Rules {
+			h := r.Head.Pred
+			for _, l := range r.Body {
+				if l.Atom.IsBuiltin() {
+					continue
+				}
+				b := l.Atom.Pred
+				min := stratum[b]
+				if l.Negated {
+					min++
+				}
+				if stratum[h] < min {
+					if min > limit {
+						return nil, fmt.Errorf("datalog: program is not stratifiable (negation through recursion)")
+					}
+					stratum[h] = min
+					changed = true
+				}
+			}
+		}
+	}
+	return stratum, nil
+}
+
+// DependencyOrder returns the program's rules grouped by stratum in
+// evaluation order. Rules inherit the stratum of their head predicate.
+func (p *Program) DependencyOrder() ([][]Rule, error) {
+	stratum, err := p.Stratify()
+	if err != nil {
+		return nil, err
+	}
+	max := 0
+	for _, s := range stratum {
+		if s > max {
+			max = s
+		}
+	}
+	groups := make([][]Rule, max+1)
+	for _, r := range p.Rules {
+		s := stratum[r.Head.Pred]
+		groups[s] = append(groups[s], r)
+	}
+	var out [][]Rule
+	for _, g := range groups {
+		if len(g) > 0 {
+			out = append(out, g)
+		}
+	}
+	if len(out) == 0 {
+		out = [][]Rule{nil}
+	}
+	return out, nil
+}
+
+func dedupeStrings(xs []string) []string {
+	var out []string
+	for i, x := range xs {
+		if i == 0 || xs[i-1] != x {
+			out = append(out, x)
+		}
+	}
+	return out
+}

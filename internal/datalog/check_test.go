@@ -1,0 +1,222 @@
+package datalog
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckSafetyAcceptsRangeRestricted(t *testing.T) {
+	prog := MustParse(`
+p(X, Y) :- e(X, Y).
+p(X, Y) :- e(X, Z), p(Z, Y).
+lvl(J1, X) :- lvl(J, Y), arc(Y, X), J1 is J + 1.
+ok(X) :- node(X), not bad(X).
+big(X) :- n(X), X > 3.
+`)
+	if err := prog.CheckSafety(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckSafetyRejectsFreeHeadVar(t *testing.T) {
+	prog := MustParse(`p(X, Y) :- e(X, X).`)
+	err := prog.CheckSafety()
+	if err == nil || !strings.Contains(err.Error(), "Y") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCheckSafetyRejectsFreeNegatedVar(t *testing.T) {
+	prog := MustParse(`p(X) :- e(X, X), not q(X, Z).`)
+	if err := prog.CheckSafety(); err == nil {
+		t.Fatal("free variable in negated literal should be unsafe")
+	}
+}
+
+func TestCheckSafetyRejectsUnboundComparison(t *testing.T) {
+	prog := MustParse(`p(X) :- e(X, X), Z < 3.`)
+	if err := prog.CheckSafety(); err == nil {
+		t.Fatal("comparison over unlimited variable should be unsafe")
+	}
+}
+
+func TestCheckSafetyBuiltinChains(t *testing.T) {
+	// Z limited through #add from limited J; W limited via = from Z.
+	prog := MustParse(`p(Z, W) :- e(J, J), Z is J + 1, W = Z.`)
+	if err := prog.CheckSafety(); err != nil {
+		t.Fatal(err)
+	}
+	// #add with only one known argument cannot limit the others.
+	prog2 := MustParse(`p(Z) :- e(J, J), Z is Q + 1.`)
+	if err := prog2.CheckSafety(); err == nil {
+		t.Fatal("underdetermined #add should be unsafe")
+	}
+}
+
+func TestStratifyPositiveProgramIsSingleStratum(t *testing.T) {
+	prog := MustParse(`
+p(X, Y) :- e(X, Y).
+p(X, Y) :- e(X, Z), p(Z, Y).
+`)
+	s, err := prog.Stratify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s["p"] != 0 || s["e"] != 0 {
+		t.Fatalf("strata = %v", s)
+	}
+}
+
+func TestStratifyNegationRaisesStratum(t *testing.T) {
+	prog := MustParse(`
+reach(X) :- src(X).
+reach(Y) :- reach(X), e(X, Y).
+unreach(X) :- node(X), not reach(X).
+`)
+	s, err := prog.Stratify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s["unreach"] != s["reach"]+1 {
+		t.Fatalf("strata = %v", s)
+	}
+}
+
+func TestStratifyRejectsNegativeCycle(t *testing.T) {
+	prog := MustParse(`
+win(X) :- move(X, Y), not win(Y).
+`)
+	if _, err := prog.Stratify(); err == nil {
+		t.Fatal("negation through recursion should be rejected")
+	}
+}
+
+func TestDependencyOrderGroupsRules(t *testing.T) {
+	prog := MustParse(`
+reach(X) :- src(X).
+reach(Y) :- reach(X), e(X, Y).
+unreach(X) :- node(X), not reach(X).
+pretty(X) :- node(X), not unreach(X).
+`)
+	groups, err := prog.DependencyOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 3 {
+		t.Fatalf("got %d strata, want 3", len(groups))
+	}
+	if groups[0][0].Head.Pred != "reach" || groups[1][0].Head.Pred != "unreach" || groups[2][0].Head.Pred != "pretty" {
+		t.Fatalf("groups = %v", groups)
+	}
+}
+
+func TestAdornSameGeneration(t *testing.T) {
+	prog := MustParse(`
+sg(X, Y) :- flat(X, Y).
+sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).
+`)
+	ap, err := Adorn(prog, MustParse(`?- sg(john, Y).`).Queries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ap.QueryPred != "sg__bf" || ap.QueryAdornment != "bf" {
+		t.Fatalf("query pred %s ad %s", ap.QueryPred, ap.QueryAdornment)
+	}
+	if len(ap.Rules) != 2 {
+		t.Fatalf("rules = %v", ap.Rules)
+	}
+	// The recursive call must also be adorned bf (binding passes X ->
+	// U through up).
+	rec := ap.Rules[1]
+	if rec.Head.Pred != "sg__bf" {
+		t.Fatalf("head = %v", rec.Head)
+	}
+	if rec.Body[1].Atom.Pred != "sg__bf" {
+		t.Fatalf("recursive literal = %v", rec.Body[1].Atom)
+	}
+	if got := ap.Adornments["sg"]; len(got) != 1 || got[0] != "bf" {
+		t.Fatalf("Adornments = %v", ap.Adornments)
+	}
+}
+
+func TestAdornGeneratesMultipleAdornments(t *testing.T) {
+	// The second rule flips the argument order, producing an fb call
+	// from a bf context.
+	prog := MustParse(`
+p(X, Y) :- e(X, Y).
+p(X, Y) :- p(Y, X).
+`)
+	ap, err := Adorn(prog, MustParse(`?- p(a, Y).`).Queries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ads := ap.Adornments["p"]
+	if len(ads) != 2 {
+		t.Fatalf("adornments = %v", ads)
+	}
+	seen := map[Adornment]bool{}
+	for _, ad := range ads {
+		seen[ad] = true
+	}
+	if !seen["bf"] || !seen["fb"] {
+		t.Fatalf("adornments = %v", ads)
+	}
+	if len(ap.Rules) != 4 {
+		t.Fatalf("expected 2 rules x 2 adornments, got %d", len(ap.Rules))
+	}
+}
+
+func TestAdornBuiltinPropagatesBindings(t *testing.T) {
+	prog := MustParse(`
+lvl(J, X) :- seed(J, X).
+lvl(J1, X) :- J1 is J + 1, lvl(J, Y), arc(Y, X).
+`)
+	// Query lvl(0, X): first arg bound. In the recursive rule J1 is
+	// bound; the preceding #add computes J from J1 (J = J1 - 1), so
+	// the recursive call is adorned bf, not ff. The SIP is strictly
+	// textual left to right: only literals before the call bind.
+	ap, err := Adorn(prog, MustParse(`?- lvl(0, X).`).Queries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range ap.Rules {
+		for _, l := range r.Body {
+			if strings.HasPrefix(l.Atom.Pred, "lvl__") && l.Atom.Pred != "lvl__bf" {
+				t.Fatalf("recursive call adorned %s, want lvl__bf", l.Atom.Pred)
+			}
+		}
+	}
+}
+
+func TestAdornErrors(t *testing.T) {
+	prog := MustParse(`p(X, Y) :- e(X, Y).`)
+	if _, err := Adorn(prog, NewAtom("q", S("a"), V("Y"))); err == nil {
+		t.Fatal("unknown query predicate should fail")
+	}
+	neg := MustParse(`
+p(X) :- e(X, X).
+q(X) :- e(X, X), not p(X).
+`)
+	if _, err := Adorn(neg, NewAtom("q", S("a"))); err == nil {
+		t.Fatal("negated IDB should be rejected")
+	}
+}
+
+func TestAdornmentHelpers(t *testing.T) {
+	ad := Adornment("bfb")
+	pos := ad.BoundPositions()
+	if len(pos) != 2 || pos[0] != 0 || pos[1] != 2 {
+		t.Fatalf("BoundPositions = %v", pos)
+	}
+	if ad.AllFree() || !Adornment("ff").AllFree() {
+		t.Fatal("AllFree wrong")
+	}
+	if AdornedName("p", "bf") != "p__bf" {
+		t.Fatal("AdornedName wrong")
+	}
+	bound := map[string]bool{"X": true}
+	got := AdornmentFor(NewAtom("p", V("X"), V("Y"), S("c")), bound)
+	if got != "bfb" {
+		t.Fatalf("AdornmentFor = %s", got)
+	}
+}

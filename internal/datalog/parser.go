@@ -1,0 +1,459 @@
+package datalog
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse reads a Datalog program in the concrete syntax:
+//
+//	parent(tom, bob).                 % fact
+//	anc(X, Y) :- parent(X, Y).        % rule
+//	anc(X, Y) :- parent(X, Z), anc(Z, Y).
+//	sg(X, Y)  :- up(X, U), sg(U, V), down(V, Y).
+//	lvl(J1, X) :- lvl(J, Y), arc(Y, X), J1 is J + 1.
+//	ok(X) :- node(X), not bad(X).     % stratified negation
+//	?- anc(tom, Y).                   % query
+//
+// Identifiers starting with a lowercase letter are symbols/predicates;
+// identifiers starting with an uppercase letter or '_' are variables;
+// '_' alone is an anonymous variable (each occurrence fresh). Integers
+// are integer constants. Quoted 'strings' are symbols. Comments run
+// from '%' or '//' to end of line. Infix comparisons =, !=, <, <=, >,
+// >= and the arithmetic form `X is Y + Z` / `X is Y - Z` desugar to
+// builtins. succ(X, Y) is accepted as sugar for Y is X + 1.
+func Parse(src string) (*Program, error) {
+	p := &parser{lex: newLexer(src), anon: 0}
+	prog := &Program{}
+	for {
+		tok := p.peek()
+		if tok.kind == tokEOF {
+			return prog, nil
+		}
+		if err := p.clause(prog); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// MustParse is Parse that panics on error, for tests and fixtures.
+func MustParse(src string) *Program {
+	prog, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokVar
+	tokInt
+	tokLParen
+	tokRParen
+	tokComma
+	tokDot
+	tokImplies // :-
+	tokQuery   // ?-
+	tokOp      // = != < <= > >= + -
+	tokError
+)
+
+type token struct {
+	kind tokKind
+	text string
+	num  int64
+	line int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+func (l *lexer) next() token {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '%':
+			l.skipLine()
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			l.skipLine()
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			l.skipBlockComment()
+		default:
+			return l.token()
+		}
+	}
+	return token{kind: tokEOF, line: l.line}
+}
+
+func (l *lexer) skipLine() {
+	for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+		l.pos++
+	}
+}
+
+func (l *lexer) skipBlockComment() {
+	l.pos += 2
+	for l.pos+1 < len(l.src) {
+		if l.src[l.pos] == '\n' {
+			l.line++
+		}
+		if l.src[l.pos] == '*' && l.src[l.pos+1] == '/' {
+			l.pos += 2
+			return
+		}
+		l.pos++
+	}
+	l.pos = len(l.src)
+}
+
+func (l *lexer) token() token {
+	start := l.pos
+	c := rune(l.src[l.pos])
+	switch {
+	case c == '(':
+		l.pos++
+		return token{kind: tokLParen, text: "(", line: l.line}
+	case c == ')':
+		l.pos++
+		return token{kind: tokRParen, text: ")", line: l.line}
+	case c == ',':
+		l.pos++
+		return token{kind: tokComma, text: ",", line: l.line}
+	case c == '.':
+		l.pos++
+		return token{kind: tokDot, text: ".", line: l.line}
+	case c == ':':
+		if strings.HasPrefix(l.src[l.pos:], ":-") {
+			l.pos += 2
+			return token{kind: tokImplies, text: ":-", line: l.line}
+		}
+		l.pos++
+		return token{kind: tokError, text: ":", line: l.line}
+	case c == '?':
+		if strings.HasPrefix(l.src[l.pos:], "?-") {
+			l.pos += 2
+			return token{kind: tokQuery, text: "?-", line: l.line}
+		}
+		l.pos++
+		return token{kind: tokError, text: "?", line: l.line}
+	case c == '!' && strings.HasPrefix(l.src[l.pos:], "!="):
+		l.pos += 2
+		return token{kind: tokOp, text: "!=", line: l.line}
+	case c == '<' || c == '>':
+		op := string(c)
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			op += "="
+			l.pos++
+		}
+		return token{kind: tokOp, text: op, line: l.line}
+	case c == '=' || c == '+':
+		l.pos++
+		return token{kind: tokOp, text: string(c), line: l.line}
+	case c == '-':
+		// Negative integer literal or minus operator.
+		if l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]) {
+			return l.integer()
+		}
+		l.pos++
+		return token{kind: tokOp, text: "-", line: l.line}
+	case c == '\'' || c == '"':
+		return l.quoted(byte(c))
+	case isDigit(byte(c)):
+		return l.integer()
+	case unicode.IsLetter(c) || c == '_':
+		for l.pos < len(l.src) && isIdentChar(l.src[l.pos]) {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		first := rune(text[0])
+		if unicode.IsUpper(first) || first == '_' {
+			return token{kind: tokVar, text: text, line: l.line}
+		}
+		return token{kind: tokIdent, text: text, line: l.line}
+	default:
+		l.pos++
+		return token{kind: tokError, text: string(c), line: l.line}
+	}
+}
+
+func (l *lexer) integer() token {
+	start := l.pos
+	if l.src[l.pos] == '-' {
+		l.pos++
+	}
+	for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+		l.pos++
+	}
+	n, err := strconv.ParseInt(l.src[start:l.pos], 10, 64)
+	if err != nil {
+		return token{kind: tokError, text: l.src[start:l.pos], line: l.line}
+	}
+	return token{kind: tokInt, num: n, text: l.src[start:l.pos], line: l.line}
+}
+
+func (l *lexer) quoted(quote byte) token {
+	l.pos++ // opening quote
+	start := l.pos
+	for l.pos < len(l.src) && l.src[l.pos] != quote && l.src[l.pos] != '\n' {
+		l.pos++
+	}
+	if l.pos >= len(l.src) || l.src[l.pos] != quote {
+		return token{kind: tokError, text: "unterminated string", line: l.line}
+	}
+	text := l.src[start:l.pos]
+	l.pos++ // closing quote
+	return token{kind: tokIdent, text: text, line: l.line}
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentChar(c byte) bool {
+	return c == '_' || isDigit(c) || unicode.IsLetter(rune(c))
+}
+
+type parser struct {
+	lex    *lexer
+	peeked *token
+	anon   int
+}
+
+func (p *parser) peek() token {
+	if p.peeked == nil {
+		t := p.lex.next()
+		p.peeked = &t
+	}
+	return *p.peeked
+}
+
+func (p *parser) next() token {
+	t := p.peek()
+	p.peeked = nil
+	return t
+}
+
+func (p *parser) errorf(tok token, format string, args ...interface{}) error {
+	return fmt.Errorf("datalog: line %d: %s", tok.line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expect(kind tokKind, what string) (token, error) {
+	tok := p.next()
+	if tok.kind != kind {
+		return tok, p.errorf(tok, "expected %s, found %q", what, tok.text)
+	}
+	return tok, nil
+}
+
+func (p *parser) clause(prog *Program) error {
+	if p.peek().kind == tokQuery {
+		p.next()
+		atom, err := p.atom()
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tokDot, "'.'"); err != nil {
+			return err
+		}
+		prog.AddQuery(atom)
+		return nil
+	}
+	head, err := p.atom()
+	if err != nil {
+		return err
+	}
+	if head.IsBuiltin() {
+		return fmt.Errorf("datalog: builtin %s cannot head a clause", head.Pred)
+	}
+	tok := p.next()
+	switch tok.kind {
+	case tokDot:
+		if !head.IsGround() {
+			return p.errorf(tok, "fact %s has variables", head)
+		}
+		prog.AddFact(head)
+		return nil
+	case tokImplies:
+		body, err := p.literalList()
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tokDot, "'.'"); err != nil {
+			return err
+		}
+		prog.AddRule(Rule{Head: head, Body: body})
+		return nil
+	default:
+		return p.errorf(tok, "expected '.' or ':-' after %s, found %q", head, tok.text)
+	}
+}
+
+func (p *parser) literalList() ([]Literal, error) {
+	var lits []Literal
+	for {
+		lit, err := p.literal()
+		if err != nil {
+			return nil, err
+		}
+		lits = append(lits, lit)
+		if p.peek().kind != tokComma {
+			return lits, nil
+		}
+		p.next()
+	}
+}
+
+func (p *parser) literal() (Literal, error) {
+	if t := p.peek(); t.kind == tokIdent && t.text == "not" {
+		p.next()
+		atom, err := p.atom()
+		if err != nil {
+			return Literal{}, err
+		}
+		if atom.IsBuiltin() {
+			return Literal{}, p.errorf(t, "negation of builtin %s is not supported; use the complementary comparison", atom.Pred)
+		}
+		return Neg(atom), nil
+	}
+	atom, err := p.atom()
+	if err != nil {
+		return Literal{}, err
+	}
+	return Pos(atom), nil
+}
+
+// atom parses a predicate application or an infix builtin:
+//
+//	p(X, a)   |   X = Y   |   X != Y   |   X < Y  ...   |   X is Y + 1
+func (p *parser) atom() (Atom, error) {
+	tok := p.peek()
+	if tok.kind == tokVar || tok.kind == tokInt {
+		return p.infix()
+	}
+	if tok.kind != tokIdent {
+		return Atom{}, p.errorf(tok, "expected atom, found %q", tok.text)
+	}
+	p.next()
+	pred := tok.text
+	if p.peek().kind != tokLParen {
+		// Could be an infix form with a symbol on the left: a = X,
+		// or the arithmetic check `c is A + B`.
+		if next := p.peek(); next.kind == tokOp || (next.kind == tokIdent && next.text == "is") {
+			return p.infixAfter(S(pred))
+		}
+		return Atom{Pred: pred}, nil
+	}
+	p.next() // (
+	var args []Term
+	if p.peek().kind != tokRParen {
+		for {
+			t, err := p.term()
+			if err != nil {
+				return Atom{}, err
+			}
+			args = append(args, t)
+			if p.peek().kind != tokComma {
+				break
+			}
+			p.next()
+		}
+	}
+	if _, err := p.expect(tokRParen, "')'"); err != nil {
+		return Atom{}, err
+	}
+	// succ(X, Y) sugar: Y = X + 1.
+	if pred == "succ" && len(args) == 2 {
+		return Atom{Pred: BuiltinAdd, Args: []Term{args[0], N(1), args[1]}}, nil
+	}
+	return Atom{Pred: pred, Args: args}, nil
+}
+
+func (p *parser) infix() (Atom, error) {
+	lhs, err := p.term()
+	if err != nil {
+		return Atom{}, err
+	}
+	return p.infixAfter(lhs)
+}
+
+func (p *parser) infixAfter(lhs Term) (Atom, error) {
+	tok := p.next()
+	if tok.kind == tokIdent && tok.text == "is" {
+		return p.isExpr(lhs)
+	}
+	if tok.kind != tokOp {
+		return Atom{}, p.errorf(tok, "expected operator after %s, found %q", lhs, tok.text)
+	}
+	rhs, err := p.term()
+	if err != nil {
+		return Atom{}, err
+	}
+	preds := map[string]string{
+		"=": BuiltinEq, "!=": BuiltinNeq, "<": BuiltinLt,
+		"<=": BuiltinLe, ">": BuiltinGt, ">=": BuiltinGe,
+	}
+	pred, ok := preds[tok.text]
+	if !ok {
+		return Atom{}, p.errorf(tok, "operator %q is not a comparison", tok.text)
+	}
+	return Atom{Pred: pred, Args: []Term{lhs, rhs}}, nil
+}
+
+// isExpr parses `LHS is A + B` or `LHS is A - B` (or bare `LHS is A`).
+func (p *parser) isExpr(lhs Term) (Atom, error) {
+	a, err := p.term()
+	if err != nil {
+		return Atom{}, err
+	}
+	if p.peek().kind != tokOp {
+		return Atom{Pred: BuiltinEq, Args: []Term{lhs, a}}, nil
+	}
+	op := p.next()
+	b, err := p.term()
+	if err != nil {
+		return Atom{}, err
+	}
+	switch op.text {
+	case "+":
+		// lhs = a + b
+		return Atom{Pred: BuiltinAdd, Args: []Term{a, b, lhs}}, nil
+	case "-":
+		// lhs = a - b  <=>  a = lhs + b
+		return Atom{Pred: BuiltinAdd, Args: []Term{lhs, b, a}}, nil
+	default:
+		return Atom{}, p.errorf(op, "unsupported arithmetic operator %q", op.text)
+	}
+}
+
+func (p *parser) term() (Term, error) {
+	tok := p.next()
+	switch tok.kind {
+	case tokVar:
+		if tok.text == "_" {
+			p.anon++
+			return V(fmt.Sprintf("_G%d", p.anon)), nil
+		}
+		return V(tok.text), nil
+	case tokIdent:
+		return S(tok.text), nil
+	case tokInt:
+		return N(tok.num), nil
+	default:
+		return Term{}, p.errorf(tok, "expected term, found %q", tok.text)
+	}
+}

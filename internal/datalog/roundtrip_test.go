@@ -1,0 +1,140 @@
+package datalog
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randTerm generates a parseable term: variables, symbols, integers.
+func randTerm(rng *rand.Rand) Term {
+	switch rng.Intn(3) {
+	case 0:
+		return V(string(rune('A'+rng.Intn(4))) + "v")
+	case 1:
+		syms := []string{"a", "bob", "x1", "long_name", "q"}
+		return S(syms[rng.Intn(len(syms))])
+	default:
+		return N(int64(rng.Intn(200) - 100))
+	}
+}
+
+// randAtom generates a parseable user atom.
+func randAtom(rng *rand.Rand) Atom {
+	preds := []string{"p", "q", "edge", "node"}
+	n := rng.Intn(4)
+	args := make([]Term, n)
+	for i := range args {
+		args[i] = randTerm(rng)
+	}
+	return Atom{Pred: preds[rng.Intn(len(preds))], Args: args}
+}
+
+// randBuiltin generates a parseable builtin literal whose rendering
+// survives a round trip (comparisons and #add in `is` form).
+func randBuiltin(rng *rand.Rand) Atom {
+	x, y := randTerm(rng), randTerm(rng)
+	switch rng.Intn(6) {
+	case 0:
+		return Atom{Pred: BuiltinEq, Args: []Term{x, y}}
+	case 1:
+		return Atom{Pred: BuiltinNeq, Args: []Term{x, y}}
+	case 2:
+		return Atom{Pred: BuiltinLt, Args: []Term{x, y}}
+	case 3:
+		return Atom{Pred: BuiltinLe, Args: []Term{x, y}}
+	case 4:
+		return Atom{Pred: BuiltinGt, Args: []Term{x, y}}
+	default:
+		return Atom{Pred: BuiltinAdd, Args: []Term{x, y, randTerm(rng)}}
+	}
+}
+
+// randProgram generates a random parseable program. Safety is not
+// required — the round trip is purely syntactic.
+func randProgram(rng *rand.Rand) *Program {
+	p := &Program{}
+	for i := rng.Intn(4); i > 0; i-- {
+		a := randAtom(rng)
+		ground := true
+		for _, t := range a.Args {
+			if t.IsVar() {
+				ground = false
+			}
+		}
+		if ground && len(a.Args) > 0 {
+			p.Facts = append(p.Facts, a)
+		}
+	}
+	for i := 1 + rng.Intn(4); i > 0; i-- {
+		r := Rule{Head: randAtom(rng)}
+		for j := 1 + rng.Intn(4); j > 0; j-- {
+			switch rng.Intn(4) {
+			case 0:
+				r.Body = append(r.Body, Neg(randAtom(rng)))
+			case 1:
+				r.Body = append(r.Body, Pos(randBuiltin(rng)))
+			default:
+				r.Body = append(r.Body, Pos(randAtom(rng)))
+			}
+		}
+		p.Rules = append(p.Rules, r)
+	}
+	for i := rng.Intn(2); i > 0; i-- {
+		p.Queries = append(p.Queries, randAtom(rng))
+	}
+	return p
+}
+
+// The printer and parser are inverse up to a fixed point: parsing a
+// rendered program and rendering again must be identity.
+func TestProgramPrintParseRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randProgram(rng)
+		text := p.String()
+		again, err := Parse(text)
+		if err != nil {
+			t.Logf("seed %d: rendered program does not parse: %v\n%s", seed, err, text)
+			return false
+		}
+		if again.String() != text {
+			t.Logf("seed %d: round trip changed program:\n%s\nvs\n%s", seed, text, again.String())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Parsing is total on printed rules: every individual rendered rule
+// parses back to a structurally identical rule.
+func TestRuleRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := Rule{Head: randAtom(rng)}
+		// At least one body literal: an empty-body clause with head
+		// variables is not expressible (facts must be ground).
+		for j := 1 + rng.Intn(3); j > 0; j-- {
+			r.Body = append(r.Body, Pos(randAtom(rng)))
+		}
+		prog, err := Parse(r.String())
+		if err != nil {
+			return false
+		}
+		var got string
+		if len(prog.Rules) == 1 {
+			got = prog.Rules[0].String()
+		} else if len(prog.Facts) == 1 {
+			got = Rule{Head: prog.Facts[0]}.String()
+		} else {
+			return false
+		}
+		return got == r.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,482 @@
+package engine
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"magiccounting/internal/datalog"
+	"magiccounting/internal/relation"
+)
+
+// run evaluates src with the given options and returns the answers to
+// its (single) query as rendered strings.
+func run(t *testing.T, src string, opts Options) []string {
+	t.Helper()
+	prog := datalog.MustParse(src)
+	if len(prog.Queries) != 1 {
+		t.Fatalf("test program must have one query, has %d", len(prog.Queries))
+	}
+	store := relation.NewStore()
+	tuples, err := Answers(prog, prog.Queries[0], store, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]string, len(tuples))
+	for i, tup := range tuples {
+		out[i] = tup.String()
+	}
+	return out
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+const ancestorSrc = `
+parent(tom, bob). parent(bob, ann). parent(bob, pat). parent(ann, jim).
+anc(X, Y) :- parent(X, Y).
+anc(X, Y) :- parent(X, Z), anc(Z, Y).
+?- anc(tom, Y).
+`
+
+func TestAncestorSeminaive(t *testing.T) {
+	got := run(t, ancestorSrc, Options{})
+	want := []string{"(tom, ann)", "(tom, bob)", "(tom, jim)", "(tom, pat)"}
+	if !equalStrings(got, want) {
+		t.Fatalf("answers = %v, want %v", got, want)
+	}
+}
+
+func TestAncestorNaiveMatchesSeminaive(t *testing.T) {
+	a := run(t, ancestorSrc, Options{Naive: true})
+	b := run(t, ancestorSrc, Options{})
+	if !equalStrings(a, b) {
+		t.Fatalf("naive %v != seminaive %v", a, b)
+	}
+}
+
+func TestSameGeneration(t *testing.T) {
+	src := `
+up(a, b). up(b, c). up(x, b). up(y, c).
+sg(X, X) :- person(X).
+sg(X, Y) :- up(X, U), sg(U, V), up(Y, V).
+person(a). person(b). person(c). person(x). person(y).
+?- sg(a, Y).
+`
+	got := run(t, src, Options{})
+	want := []string{"(a, a)", "(a, x)"}
+	if !equalStrings(got, want) {
+		t.Fatalf("answers = %v, want %v", got, want)
+	}
+}
+
+func TestTransitiveClosureOnCycleTerminates(t *testing.T) {
+	src := `
+e(a, b). e(b, c). e(c, a).
+tc(X, Y) :- e(X, Y).
+tc(X, Y) :- e(X, Z), tc(Z, Y).
+?- tc(a, Y).
+`
+	got := run(t, src, Options{})
+	want := []string{"(a, a)", "(a, b)", "(a, c)"}
+	if !equalStrings(got, want) {
+		t.Fatalf("answers = %v, want %v", got, want)
+	}
+}
+
+func TestArithmeticLevels(t *testing.T) {
+	src := `
+arc(a, b). arc(b, c).
+lvl(0, a).
+lvl(J1, X) :- lvl(J, Y), arc(Y, X), J1 is J + 1.
+?- lvl(J, X).
+`
+	got := run(t, src, Options{})
+	want := []string{"(0, a)", "(1, b)", "(2, c)"}
+	if !equalStrings(got, want) {
+		t.Fatalf("answers = %v, want %v", got, want)
+	}
+}
+
+func TestIterationGuardTripsOnDivergentCounting(t *testing.T) {
+	src := `
+arc(a, b). arc(b, a).
+lvl(0, a).
+lvl(J1, X) :- lvl(J, Y), arc(Y, X), J1 is J + 1.
+`
+	prog := datalog.MustParse(src)
+	store := relation.NewStore()
+	_, err := Eval(prog, store, Options{MaxIterations: 50})
+	if !errors.Is(err, ErrIterationLimit) {
+		t.Fatalf("err = %v, want ErrIterationLimit", err)
+	}
+}
+
+func TestStratifiedNegation(t *testing.T) {
+	src := `
+node(a). node(b). node(c). node(d).
+e(a, b). e(b, c).
+reach(a).
+reach(Y) :- reach(X), e(X, Y).
+unreach(X) :- node(X), not reach(X).
+?- unreach(X).
+`
+	got := run(t, src, Options{})
+	want := []string{"(d)"}
+	if !equalStrings(got, want) {
+		t.Fatalf("answers = %v, want %v", got, want)
+	}
+}
+
+func TestComparisonsFilter(t *testing.T) {
+	src := `
+n(1). n(2). n(3). n(4).
+big(X) :- n(X), X >= 3.
+pair(X, Y) :- n(X), n(Y), X < Y, Y <= 2.
+?- big(X).
+`
+	got := run(t, src, Options{})
+	want := []string{"(3)", "(4)"}
+	if !equalStrings(got, want) {
+		t.Fatalf("answers = %v, want %v", got, want)
+	}
+}
+
+func TestNeqAndEqBuiltins(t *testing.T) {
+	src := `
+n(1). n(2).
+diff(X, Y) :- n(X), n(Y), X != Y.
+?- diff(X, Y).
+`
+	got := run(t, src, Options{})
+	want := []string{"(1, 2)", "(2, 1)"}
+	if !equalStrings(got, want) {
+		t.Fatalf("answers = %v, want %v", got, want)
+	}
+}
+
+func TestEqBindsVariable(t *testing.T) {
+	src := `
+n(1). n(2).
+copy(Y) :- n(X), Y = X.
+?- copy(Y).
+`
+	got := run(t, src, Options{})
+	want := []string{"(1)", "(2)"}
+	if !equalStrings(got, want) {
+		t.Fatalf("answers = %v, want %v", got, want)
+	}
+}
+
+func TestBuiltinDeferredAcrossTextualOrder(t *testing.T) {
+	// Z is Q + 1 appears before Q is bound; orderBody must defer it.
+	src := `
+q(5).
+p(Z) :- Z is Q + 1, q(Q).
+?- p(Z).
+`
+	got := run(t, src, Options{})
+	want := []string{"(6)"}
+	if !equalStrings(got, want) {
+		t.Fatalf("answers = %v, want %v", got, want)
+	}
+}
+
+func TestSubtractionDescent(t *testing.T) {
+	src := `
+pc(2, x).
+r(y, x). r(z, y).
+pc(J1, Y) :- pc(J, Y1), r(Y, Y1), J1 is J - 1.
+ans(Y) :- pc(0, Y).
+?- ans(Y).
+`
+	got := run(t, src, Options{})
+	want := []string{"(z)"}
+	if !equalStrings(got, want) {
+		t.Fatalf("answers = %v, want %v", got, want)
+	}
+}
+
+func TestRepeatedVariableInAtom(t *testing.T) {
+	src := `
+e(a, a). e(a, b). e(b, b).
+loop(X) :- e(X, X).
+?- loop(X).
+`
+	got := run(t, src, Options{})
+	want := []string{"(a)", "(b)"}
+	if !equalStrings(got, want) {
+		t.Fatalf("answers = %v, want %v", got, want)
+	}
+}
+
+func TestGroundFactRuleFiresOnce(t *testing.T) {
+	src := `
+start(a) :- seed.
+seed.
+?- start(X).
+`
+	got := run(t, src, Options{})
+	want := []string{"(a)"}
+	if !equalStrings(got, want) {
+		t.Fatalf("answers = %v, want %v", got, want)
+	}
+}
+
+func TestAnswersOnUndefinedPredicate(t *testing.T) {
+	prog := datalog.MustParse(`e(a, b).`)
+	store := relation.NewStore()
+	got, err := Answers(prog, datalog.NewAtom("nosuch", datalog.V("X")), store, Options{})
+	if err != nil || got != nil {
+		t.Fatalf("got %v, %v; want empty", got, err)
+	}
+}
+
+func TestMatchRespectsConstantsAndRepeatedVars(t *testing.T) {
+	prog := datalog.MustParse(`
+e(a, b). e(a, a). e(b, b).
+p(X, Y) :- e(X, Y).
+`)
+	store := relation.NewStore()
+	if _, err := Eval(prog, store, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	same := Match(store, datalog.NewAtom("p", datalog.V("X"), datalog.V("X")))
+	if len(same) != 2 {
+		t.Fatalf("p(X,X) = %v", same)
+	}
+	froma := Match(store, datalog.NewAtom("p", datalog.S("a"), datalog.V("Y")))
+	if len(froma) != 2 {
+		t.Fatalf("p(a,Y) = %v", froma)
+	}
+}
+
+func TestEvalRejectsUnsafeProgram(t *testing.T) {
+	prog := datalog.MustParse(`p(X, Y) :- e(X, X).`)
+	store := relation.NewStore()
+	if _, err := Eval(prog, store, Options{}); err == nil {
+		t.Fatal("unsafe program should be rejected")
+	}
+}
+
+func TestEvalRejectsUnstratifiable(t *testing.T) {
+	prog := datalog.MustParse(`
+move(a, b).
+win(X) :- move(X, Y), not win(Y).
+`)
+	store := relation.NewStore()
+	if _, err := Eval(prog, store, Options{}); err == nil {
+		t.Fatal("unstratifiable program should be rejected")
+	}
+}
+
+func TestStatsReported(t *testing.T) {
+	prog := datalog.MustParse(ancestorSrc)
+	store := relation.NewStore()
+	stats, err := Eval(prog, store, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Derived != 8 { // the full anc closure has 8 tuples
+		t.Fatalf("Derived = %d, want 8", stats.Derived)
+	}
+	if stats.Iterations < 3 {
+		t.Fatalf("Iterations = %d, want >= 3", stats.Iterations)
+	}
+	if store.Meter().Retrievals() == 0 {
+		t.Fatal("evaluation should charge the meter")
+	}
+	if stats.DerivedByPred["anc"] != 8 {
+		t.Fatalf("DerivedByPred = %v, want anc:8", stats.DerivedByPred)
+	}
+	if stats.Strata != 1 {
+		t.Fatalf("Strata = %d, want 1", stats.Strata)
+	}
+}
+
+func TestStatsPerPredicateAcrossStrata(t *testing.T) {
+	prog := datalog.MustParse(`
+node(a). node(b). e(a, b).
+reach(a).
+reach(Y) :- reach(X), e(X, Y).
+dead(X) :- node(X), not reach(X).
+`)
+	store := relation.NewStore()
+	stats, err := Eval(prog, store, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Strata != 2 {
+		t.Fatalf("Strata = %d, want 2", stats.Strata)
+	}
+	// reach(a) is a loaded fact, not a derivation; only reach(b) is
+	// derived. No node is dead.
+	if stats.DerivedByPred["reach"] != 1 || stats.DerivedByPred["dead"] != 0 {
+		t.Fatalf("DerivedByPred = %v", stats.DerivedByPred)
+	}
+}
+
+func TestSeminaiveCheaperThanNaiveOnChain(t *testing.T) {
+	var src string
+	src += "tc(X, Y) :- e(X, Y).\n"
+	src += "tc(X, Y) :- e(X, Z), tc(Z, Y).\n"
+	for i := 0; i < 30; i++ {
+		src += "e(n" + string(rune('a'+i/26)) + string(rune('a'+i%26)) + ", n" + string(rune('a'+(i+1)/26)) + string(rune('a'+(i+1)%26)) + ").\n"
+	}
+	prog := datalog.MustParse(src)
+	naive := relation.NewStore()
+	if _, err := Eval(prog, naive, Options{Naive: true}); err != nil {
+		t.Fatal(err)
+	}
+	semi := relation.NewStore()
+	if _, err := Eval(prog, semi, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if naive.Relation("tc", 2).Len() != semi.Relation("tc", 2).Len() {
+		t.Fatal("naive and seminaive disagree")
+	}
+	if semi.Meter().Retrievals() >= naive.Meter().Retrievals() {
+		t.Fatalf("seminaive (%d) should beat naive (%d) on a chain",
+			semi.Meter().Retrievals(), naive.Meter().Retrievals())
+	}
+}
+
+// Property: naive and seminaive compute the same transitive closure on
+// random graphs.
+func TestNaiveSeminaiveAgreeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		prog := &datalog.Program{}
+		prog.AddRule(datalog.NewRule(
+			datalog.NewAtom("tc", datalog.V("X"), datalog.V("Y")),
+			datalog.NewAtom("e", datalog.V("X"), datalog.V("Y"))))
+		prog.AddRule(datalog.NewRule(
+			datalog.NewAtom("tc", datalog.V("X"), datalog.V("Y")),
+			datalog.NewAtom("e", datalog.V("X"), datalog.V("Z")),
+			datalog.NewAtom("tc", datalog.V("Z"), datalog.V("Y"))))
+		names := []string{"a", "b", "c", "d", "e"}
+		for i := 0; i < 8; i++ {
+			prog.AddFact(datalog.NewAtom("e",
+				datalog.S(names[rng.Intn(len(names))]),
+				datalog.S(names[rng.Intn(len(names))])))
+		}
+		s1 := relation.NewStore()
+		s2 := relation.NewStore()
+		if _, err := Eval(prog, s1, Options{Naive: true}); err != nil {
+			return false
+		}
+		if _, err := Eval(prog, s2, Options{}); err != nil {
+			return false
+		}
+		a := s1.Relation("tc", 2).SortedTuples()
+		b := s2.Relation("tc", 2).SortedTuples()
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if !a[i].Equal(b[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComparisonsOnSymbolsAreLexicographic(t *testing.T) {
+	src := `
+w(apple). w(pear). w(fig).
+lt(X, Y) :- w(X), w(Y), X < Y.
+?- lt(X, Y).
+`
+	got := run(t, src, Options{})
+	want := []string{"(apple, fig)", "(apple, pear)", "(fig, pear)"}
+	if !equalStrings(got, want) {
+		t.Fatalf("answers = %v, want %v", got, want)
+	}
+	// The other comparison operators on symbols.
+	src2 := `
+w(apple). w(pear).
+cmp(X, Y) :- w(X), w(Y), X >= Y, X > apple, Y <= pear.
+?- cmp(X, Y).
+`
+	got2 := run(t, src2, Options{})
+	want2 := []string{"(pear, apple)", "(pear, pear)"}
+	if !equalStrings(got2, want2) {
+		t.Fatalf("answers = %v, want %v", got2, want2)
+	}
+}
+
+func TestArithmeticOnSymbolFailsQuietly(t *testing.T) {
+	// #add over a symbol is simply unsatisfiable, not an error.
+	src := `
+q(apple). q(3).
+p(Z) :- q(X), Z is X + 1.
+?- p(Z).
+`
+	got := run(t, src, Options{})
+	if !equalStrings(got, []string{"(4)"}) {
+		t.Fatalf("answers = %v, want [(4)]", got)
+	}
+}
+
+func TestAddBindsEachPosition(t *testing.T) {
+	// X is Z - 7 desugars to #add(X, 7, Z) with Z bound, exercising
+	// the bind-first-argument branch of #add.
+	src := `
+q(10).
+first(X) :- q(Z), X is Z - 7.
+?- first(X).
+`
+	got := run(t, src, Options{})
+	if !equalStrings(got, []string{"(3)"}) {
+		t.Fatalf("answers = %v", got)
+	}
+}
+
+func TestAnswersPropagatesEvalError(t *testing.T) {
+	prog := datalog.MustParse(`p(X, Y) :- e(X, X).`) // unsafe
+	if _, err := Answers(prog, datalog.NewAtom("p", datalog.V("X"), datalog.V("Y")), relation.NewStore(), Options{}); err == nil {
+		t.Fatal("Answers should surface Eval errors")
+	}
+}
+
+func TestEqOnConstantsFilters(t *testing.T) {
+	src := `
+q(a). q(b).
+p(X) :- q(X), X = a.
+?- p(X).
+`
+	got := run(t, src, Options{})
+	if !equalStrings(got, []string{"(a)"}) {
+		t.Fatalf("answers = %v", got)
+	}
+}
+
+func TestMultiStratumPipeline(t *testing.T) {
+	src := `
+node(a). node(b). node(c).
+e(a, b).
+reach(a).
+reach(Y) :- reach(X), e(X, Y).
+dead(X) :- node(X), not reach(X).
+deadpair(X, Y) :- dead(X), dead(Y), X != Y.
+?- deadpair(X, Y).
+`
+	got := run(t, src, Options{})
+	if len(got) != 0 {
+		t.Fatalf("deadpair = %v, want empty (only c is dead)", got)
+	}
+}

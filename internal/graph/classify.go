@@ -1,0 +1,236 @@
+package graph
+
+// Class is the Saccà–Zaniolo classification of a magic-graph node b
+// with respect to a source node a, by the set I_b of lengths of walks
+// from a to b (Proposition 1 of the paper).
+type Class uint8
+
+const (
+	// Unreachable: no walk from the source reaches the node, so it is
+	// not in the magic set at all.
+	Unreachable Class = iota
+	// Single: exactly one distance — all paths from the source have
+	// the same length.
+	Single
+	// Multiple: finitely many (>= 2) distances — at least two acyclic
+	// paths of different lengths.
+	Multiple
+	// Recurring: infinitely many distances — some cyclic path from
+	// the source reaches the node.
+	Recurring
+)
+
+// String names the class for reports.
+func (c Class) String() string {
+	switch c {
+	case Single:
+		return "single"
+	case Multiple:
+		return "multiple"
+	case Recurring:
+		return "recurring"
+	default:
+		return "unreachable"
+	}
+}
+
+// Classification holds the per-node analysis of a magic graph.
+type Classification struct {
+	// Class[v] is the node's class relative to the source.
+	Class []Class
+	// FirstIndex[v] is the shortest walk length from the source
+	// (BFS distance), or -1 if unreachable.
+	FirstIndex []int
+	// Indices[v] lists all walk lengths for single and multiple
+	// nodes, sorted ascending. For recurring nodes (infinite index
+	// sets) and unreachable nodes it is nil.
+	Indices [][]int
+	// Regular reports whether every reachable node is single.
+	Regular bool
+	// HasRecurring reports whether any reachable node is recurring
+	// (the regime where the pure counting method is unsafe).
+	HasRecurring bool
+}
+
+// Classify determines the class of every node relative to src using
+// Tarjan SCC for the recurring set (linear time) and a level-by-level
+// walk enumeration, confined to non-recurring nodes, for the exact
+// index sets of single and multiple nodes. This is the efficient
+// Step 1 the paper sketches at the end of §9: recurring nodes are
+// detected in O(N+M) and the index enumeration costs only on the
+// multiple region.
+func (g *Digraph) Classify(src int) *Classification {
+	n := g.N()
+	c := &Classification{
+		Class:      make([]Class, n),
+		FirstIndex: g.BFSLevels(src),
+		Indices:    make([][]int, n),
+		Regular:    true,
+	}
+	if src < 0 || src >= n {
+		return c
+	}
+	reach := g.Reachable(src)
+
+	// Recurring = reachable and reachable from a reachable cyclic node.
+	cyc := g.CyclicNodes()
+	var seeds []int
+	for v := 0; v < n; v++ {
+		if reach[v] && cyc[v] {
+			seeds = append(seeds, v)
+		}
+	}
+	fromCycle := g.ReverseReachableForward(seeds)
+	for v := 0; v < n; v++ {
+		if reach[v] && fromCycle[v] {
+			c.Class[v] = Recurring
+			c.HasRecurring = true
+			c.Regular = false
+		}
+	}
+
+	// Walks that end at a non-recurring node never pass through a
+	// recurring node (anything downstream of a recurring node is
+	// recurring), so a level DP restricted to non-recurring nodes
+	// enumerates their full index sets. All such walks are simple
+	// paths, so n-1 levels suffice.
+	cur := make([]bool, n)
+	nxt := make([]bool, n)
+	if c.Class[src] != Recurring {
+		cur[src] = true
+		c.Indices[src] = append(c.Indices[src], 0)
+	}
+	for level := 1; level < n; level++ {
+		any := false
+		for i := range nxt {
+			nxt[i] = false
+		}
+		for u := 0; u < n; u++ {
+			if !cur[u] {
+				continue
+			}
+			for _, v := range g.out[u] {
+				if c.Class[v] == Recurring {
+					continue
+				}
+				if !nxt[v] {
+					nxt[v] = true
+					any = true
+					c.Indices[v] = append(c.Indices[v], level)
+				}
+			}
+		}
+		cur, nxt = nxt, cur
+		if !any {
+			break
+		}
+	}
+	for v := 0; v < n; v++ {
+		if !reach[v] || c.Class[v] == Recurring {
+			continue
+		}
+		switch len(c.Indices[v]) {
+		case 0:
+			// Reachable only through recurring territory; but anything
+			// downstream of a recurring node is recurring, so this
+			// cannot happen for a correctly built graph.
+			c.Class[v] = Recurring
+			c.HasRecurring = true
+			c.Regular = false
+		case 1:
+			c.Class[v] = Single
+		default:
+			c.Class[v] = Multiple
+			c.Regular = false
+		}
+	}
+	return c
+}
+
+// ReverseReachableForward returns the set of nodes reachable from any
+// of the seed nodes following arcs forward (seeds included).
+func (g *Digraph) ReverseReachableForward(seeds []int) []bool {
+	mask := make([]bool, g.N())
+	var stack []int32
+	for _, s := range seeds {
+		if s >= 0 && s < g.N() && !mask[s] {
+			mask[s] = true
+			stack = append(stack, int32(s))
+		}
+	}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range g.out[u] {
+			if !mask[v] {
+				mask[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	return mask
+}
+
+// WalkLengthSets enumerates, for every node, the set of walk lengths
+// from src up to and including maxLen, by level DP over the full graph
+// (recurring regions included). It is the brute-force oracle used to
+// validate Classify and the Step 1 algorithms: O(maxLen * M) time.
+func (g *Digraph) WalkLengthSets(src, maxLen int) [][]int {
+	n := g.N()
+	out := make([][]int, n)
+	if src < 0 || src >= n {
+		return out
+	}
+	cur := make([]bool, n)
+	nxt := make([]bool, n)
+	cur[src] = true
+	out[src] = append(out[src], 0)
+	for level := 1; level <= maxLen; level++ {
+		any := false
+		for i := range nxt {
+			nxt[i] = false
+		}
+		for u := 0; u < n; u++ {
+			if !cur[u] {
+				continue
+			}
+			for _, v := range g.out[u] {
+				if !nxt[v] {
+					nxt[v] = true
+					any = true
+					out[v] = append(out[v], level)
+				}
+			}
+		}
+		cur, nxt = nxt, cur
+		if !any {
+			break
+		}
+	}
+	return out
+}
+
+// ClassifyOracle is a deliberately naive classifier used only in tests
+// to cross-check Classify: it enumerates walk lengths up to 2N and
+// derives the class from first principles. A node with a walk of
+// length >= N has walked through a cycle (pigeonhole), hence is
+// recurring; otherwise the number of distinct lengths decides.
+func (g *Digraph) ClassifyOracle(src int) []Class {
+	n := g.N()
+	classes := make([]Class, n)
+	sets := g.WalkLengthSets(src, 2*n)
+	for v := 0; v < n; v++ {
+		set := sets[v]
+		switch {
+		case len(set) == 0:
+			classes[v] = Unreachable
+		case set[len(set)-1] >= n:
+			classes[v] = Recurring
+		case len(set) == 1:
+			classes[v] = Single
+		default:
+			classes[v] = Multiple
+		}
+	}
+	return classes
+}

@@ -1,0 +1,370 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// buildGraph constructs a digraph from an arc list over n nodes.
+func buildGraph(n int, arcs [][2]int) *Digraph {
+	g := NewDigraph(n)
+	for _, a := range arcs {
+		g.AddArc(a[0], a[1])
+	}
+	return g
+}
+
+// randomGraph builds a random digraph with n nodes and about m arcs.
+func randomGraph(rng *rand.Rand, n, m int) *Digraph {
+	g := NewDigraph(n)
+	for i := 0; i < m; i++ {
+		g.AddArc(rng.Intn(n), rng.Intn(n))
+	}
+	return g
+}
+
+func TestAddArcDedupeAndDegrees(t *testing.T) {
+	g := NewDigraph(3)
+	g.AddArc(0, 1)
+	g.AddArc(0, 1)
+	g.AddArc(0, 2)
+	g.AddArc(1, 1) // self-loop
+	if g.M() != 3 {
+		t.Fatalf("M = %d, want 3 (duplicate collapsed)", g.M())
+	}
+	if g.OutDegree(0) != 2 || g.InDegree(1) != 2 || g.InDegree(0) != 0 {
+		t.Fatalf("degree mismatch: out0=%d in1=%d in0=%d", g.OutDegree(0), g.InDegree(1), g.InDegree(0))
+	}
+	if !g.HasArc(1, 1) || g.HasArc(2, 0) {
+		t.Fatal("HasArc wrong")
+	}
+}
+
+func TestAddArcOutOfRangePanics(t *testing.T) {
+	g := NewDigraph(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g.AddArc(0, 5)
+}
+
+func TestAddNodeReturnsSequentialIDs(t *testing.T) {
+	g := NewDigraph(0)
+	if g.AddNode() != 0 || g.AddNode() != 1 {
+		t.Fatal("AddNode ids not sequential")
+	}
+	g.AddNodes(3)
+	if g.N() != 5 {
+		t.Fatalf("N = %d, want 5", g.N())
+	}
+}
+
+func TestBFSLevelsChain(t *testing.T) {
+	g := buildGraph(4, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	got := g.BFSLevels(0)
+	want := []int{0, 1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("BFSLevels = %v, want %v", got, want)
+		}
+	}
+	if g.BFSLevels(3)[0] != -1 {
+		t.Fatal("unreachable node should be -1")
+	}
+	if g.BFSLevels(-1)[0] != -1 {
+		t.Fatal("invalid source should leave all -1")
+	}
+}
+
+func TestBFSLevelsShortestOfTwoPaths(t *testing.T) {
+	// 0->1->2->3 and shortcut 0->3.
+	g := buildGraph(4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {0, 3}})
+	if d := g.BFSLevels(0)[3]; d != 1 {
+		t.Fatalf("dist(3) = %d, want 1", d)
+	}
+}
+
+func TestReachable(t *testing.T) {
+	g := buildGraph(5, [][2]int{{0, 1}, {1, 2}, {3, 4}})
+	r := g.Reachable(0)
+	want := []bool{true, true, true, false, false}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Fatalf("Reachable = %v, want %v", r, want)
+		}
+	}
+}
+
+func TestReverseReachable(t *testing.T) {
+	g := buildGraph(5, [][2]int{{0, 1}, {1, 2}, {3, 2}, {4, 0}})
+	r := g.ReverseReachable([]int{2})
+	want := []bool{true, true, true, true, true}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Fatalf("ReverseReachable = %v, want %v", r, want)
+		}
+	}
+	if r := g.ReverseReachable([]int{3}); r[0] || !r[3] {
+		t.Fatal("ReverseReachable(3) wrong")
+	}
+}
+
+func TestReverseReachableForward(t *testing.T) {
+	g := buildGraph(4, [][2]int{{0, 1}, {1, 2}, {3, 0}})
+	r := g.ReverseReachableForward([]int{1})
+	if !r[1] || !r[2] || r[0] || r[3] {
+		t.Fatalf("forward closure from 1 = %v", r)
+	}
+}
+
+func TestInduced(t *testing.T) {
+	g := buildGraph(4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {0, 3}})
+	sub, oldToNew, newToOld := g.Induced([]bool{true, true, false, true})
+	if sub.N() != 3 || sub.M() != 2 { // arcs 0->1 and 0->3 survive
+		t.Fatalf("sub has n=%d m=%d", sub.N(), sub.M())
+	}
+	if oldToNew[2] != -1 {
+		t.Fatal("dropped node should map to -1")
+	}
+	if newToOld[oldToNew[3]] != 3 {
+		t.Fatal("id maps not inverse")
+	}
+	if !sub.HasArc(oldToNew[0], oldToNew[3]) {
+		t.Fatal("surviving arc missing")
+	}
+}
+
+func TestSCCChainIsAllSingletons(t *testing.T) {
+	g := buildGraph(4, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	scc := g.SCC()
+	if scc.NumComps != 4 {
+		t.Fatalf("NumComps = %d, want 4", scc.NumComps)
+	}
+	if !g.IsAcyclic() {
+		t.Fatal("chain should be acyclic")
+	}
+}
+
+func TestSCCCycleAndTail(t *testing.T) {
+	// 0->1->2->0 cycle with tail 2->3.
+	g := buildGraph(4, [][2]int{{0, 1}, {1, 2}, {2, 0}, {2, 3}})
+	scc := g.SCC()
+	if scc.NumComps != 2 {
+		t.Fatalf("NumComps = %d, want 2", scc.NumComps)
+	}
+	c := scc.Comp[0]
+	if scc.Comp[1] != c || scc.Comp[2] != c || scc.Comp[3] == c {
+		t.Fatalf("Comp = %v", scc.Comp)
+	}
+	if scc.Size[c] != 3 {
+		t.Fatalf("cycle component size = %d", scc.Size[c])
+	}
+	if g.IsAcyclic() {
+		t.Fatal("graph has a cycle")
+	}
+}
+
+func TestSCCReverseTopologicalIDs(t *testing.T) {
+	// Condensation A -> B: A's id must be greater than B's.
+	g := buildGraph(4, [][2]int{{0, 1}, {1, 0}, {1, 2}, {2, 3}, {3, 2}})
+	scc := g.SCC()
+	if scc.Comp[0] <= scc.Comp[2] {
+		t.Fatalf("expected upstream component to have larger id: %v", scc.Comp)
+	}
+}
+
+func TestCyclicNodesSelfLoop(t *testing.T) {
+	g := buildGraph(3, [][2]int{{0, 1}, {1, 1}, {1, 2}})
+	cyc := g.CyclicNodes()
+	if cyc[0] || !cyc[1] || cyc[2] {
+		t.Fatalf("CyclicNodes = %v", cyc)
+	}
+}
+
+// Oracle SCC: two nodes are in the same component iff each reaches the
+// other. Verified on random graphs.
+func TestSCCMatchesReachabilityOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(9)
+		g := randomGraph(rng, n, rng.Intn(3*n))
+		scc := g.SCC()
+		reach := make([][]bool, n)
+		for v := 0; v < n; v++ {
+			reach[v] = g.Reachable(v)
+		}
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				same := scc.Comp[u] == scc.Comp[v]
+				mutual := reach[u][v] && reach[v][u]
+				if same != mutual {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClassifyChainAllSingle(t *testing.T) {
+	g := buildGraph(4, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	c := g.Classify(0)
+	for v := 0; v < 4; v++ {
+		if c.Class[v] != Single {
+			t.Fatalf("node %d class = %v, want single", v, c.Class[v])
+		}
+		if len(c.Indices[v]) != 1 || c.Indices[v][0] != v {
+			t.Fatalf("node %d indices = %v", v, c.Indices[v])
+		}
+	}
+	if !c.Regular || c.HasRecurring {
+		t.Fatal("chain should be regular and non-recurring")
+	}
+}
+
+func TestClassifyDiamondIsRegular(t *testing.T) {
+	// Two paths of equal length: still single.
+	g := buildGraph(4, [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}})
+	c := g.Classify(0)
+	if c.Class[3] != Single || !c.Regular {
+		t.Fatalf("diamond sink class = %v, regular = %v", c.Class[3], c.Regular)
+	}
+}
+
+func TestClassifyShortcutMakesMultiple(t *testing.T) {
+	// 0->1->2 plus 0->2: node 2 has distances {1,2}.
+	g := buildGraph(3, [][2]int{{0, 1}, {1, 2}, {0, 2}})
+	c := g.Classify(0)
+	if c.Class[2] != Multiple {
+		t.Fatalf("class(2) = %v, want multiple", c.Class[2])
+	}
+	if got := c.Indices[2]; len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("indices(2) = %v, want [1 2]", got)
+	}
+	if c.Regular {
+		t.Fatal("graph is not regular")
+	}
+	if c.HasRecurring {
+		t.Fatal("graph has no cycle")
+	}
+}
+
+func TestClassifyCycleMakesRecurring(t *testing.T) {
+	// 0->1->2->1 cycle, 2->3 downstream.
+	g := buildGraph(4, [][2]int{{0, 1}, {1, 2}, {2, 1}, {2, 3}})
+	c := g.Classify(0)
+	for _, v := range []int{1, 2, 3} {
+		if c.Class[v] != Recurring {
+			t.Fatalf("class(%d) = %v, want recurring", v, c.Class[v])
+		}
+	}
+	if c.Class[0] != Single {
+		t.Fatalf("class(0) = %v, want single (upstream of cycle)", c.Class[0])
+	}
+	if !c.HasRecurring || c.Regular {
+		t.Fatal("flags wrong")
+	}
+}
+
+func TestClassifyUnreachable(t *testing.T) {
+	g := buildGraph(3, [][2]int{{1, 2}})
+	c := g.Classify(0)
+	if c.Class[1] != Unreachable || c.Class[2] != Unreachable {
+		t.Fatal("disconnected nodes should be unreachable")
+	}
+	if c.FirstIndex[1] != -1 {
+		t.Fatal("FirstIndex of unreachable should be -1")
+	}
+	if !c.Regular {
+		t.Fatal("unreachable nodes must not break regularity")
+	}
+}
+
+func TestClassifySourceOnCycle(t *testing.T) {
+	g := buildGraph(2, [][2]int{{0, 0}, {0, 1}})
+	c := g.Classify(0)
+	if c.Class[0] != Recurring || c.Class[1] != Recurring {
+		t.Fatalf("self-loop source: %v", c.Class)
+	}
+}
+
+func TestClassifyMatchesOracleProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		g := randomGraph(rng, n, rng.Intn(3*n))
+		fast := g.Classify(0)
+		slow := g.ClassifyOracle(0)
+		for v := 0; v < n; v++ {
+			if fast.Class[v] != slow[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClassifyIndicesMatchWalkSetsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		g := randomGraph(rng, n, rng.Intn(2*n))
+		c := g.Classify(0)
+		walks := g.WalkLengthSets(0, n-1)
+		for v := 0; v < n; v++ {
+			if c.Class[v] != Single && c.Class[v] != Multiple {
+				continue
+			}
+			if len(c.Indices[v]) != len(walks[v]) {
+				return false
+			}
+			for i := range walks[v] {
+				if c.Indices[v][i] != walks[v][i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWalkLengthSetsLasso(t *testing.T) {
+	// 0->1, 1->2, 2->1 (2-cycle): node 1 has lengths 1,3,5,...
+	g := buildGraph(3, [][2]int{{0, 1}, {1, 2}, {2, 1}})
+	sets := g.WalkLengthSets(0, 6)
+	want1 := []int{1, 3, 5}
+	if len(sets[1]) != 3 {
+		t.Fatalf("walk set(1) = %v", sets[1])
+	}
+	for i, w := range want1 {
+		if sets[1][i] != w {
+			t.Fatalf("walk set(1) = %v, want %v", sets[1], want1)
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	names := map[Class]string{
+		Unreachable: "unreachable",
+		Single:      "single",
+		Multiple:    "multiple",
+		Recurring:   "recurring",
+	}
+	for c, want := range names {
+		if c.String() != want {
+			t.Errorf("Class(%d).String() = %q, want %q", c, c.String(), want)
+		}
+	}
+}

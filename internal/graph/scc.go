@@ -1,0 +1,114 @@
+package graph
+
+// SCCResult describes the strongly connected components of a digraph.
+type SCCResult struct {
+	// Comp[v] is the component id of node v. Ids are assigned in
+	// reverse topological order of the condensation (a component's id
+	// is greater than the ids of components it can reach). This is the
+	// order Tarjan's algorithm emits naturally.
+	Comp []int
+	// Size[c] is the number of nodes in component c.
+	Size []int
+	// NumComps is the number of components.
+	NumComps int
+}
+
+// SCC computes strongly connected components with an iterative version
+// of Tarjan's depth-first algorithm, in O(N+M) time. The paper's §9
+// cites exactly this algorithm for detecting recurring nodes in linear
+// time.
+func (g *Digraph) SCC() *SCCResult {
+	n := g.N()
+	res := &SCCResult{Comp: make([]int, n)}
+	for i := range res.Comp {
+		res.Comp[i] = -1
+	}
+	index := make([]int32, n) // discovery order, 0 = unvisited
+	low := make([]int32, n)
+	onStack := make([]bool, n)
+	var stack []int32   // Tarjan stack
+	var next int32 = 1  // next discovery index
+	type frame struct { // explicit DFS stack
+		v  int32
+		ai int // next out-arc to consider
+	}
+	var dfs []frame
+	for root := 0; root < n; root++ {
+		if index[root] != 0 {
+			continue
+		}
+		dfs = append(dfs[:0], frame{v: int32(root)})
+		index[root] = next
+		low[root] = next
+		next++
+		stack = append(stack, int32(root))
+		onStack[root] = true
+		for len(dfs) > 0 {
+			f := &dfs[len(dfs)-1]
+			v := f.v
+			if f.ai < len(g.out[v]) {
+				w := g.out[v][f.ai]
+				f.ai++
+				if index[w] == 0 {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					dfs = append(dfs, frame{v: w})
+				} else if onStack[w] && low[v] > index[w] {
+					low[v] = index[w]
+				}
+				continue
+			}
+			// v is finished: pop a component if v is a root.
+			if low[v] == index[v] {
+				c := res.NumComps
+				res.NumComps++
+				size := 0
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					res.Comp[w] = c
+					size++
+					if w == v {
+						break
+					}
+				}
+				res.Size = append(res.Size, size)
+			}
+			dfs = dfs[:len(dfs)-1]
+			if len(dfs) > 0 {
+				p := dfs[len(dfs)-1].v
+				if low[p] > low[v] {
+					low[p] = low[v]
+				}
+			}
+		}
+	}
+	return res
+}
+
+// CyclicNodes returns the mask of nodes lying on some directed cycle:
+// members of a component of size >= 2, or nodes with a self-loop.
+func (g *Digraph) CyclicNodes() []bool {
+	scc := g.SCC()
+	mask := make([]bool, g.N())
+	for v := 0; v < g.N(); v++ {
+		if scc.Size[scc.Comp[v]] >= 2 || g.HasArc(v, v) {
+			mask[v] = true
+		}
+	}
+	return mask
+}
+
+// IsAcyclic reports whether the graph has no directed cycle.
+func (g *Digraph) IsAcyclic() bool {
+	for _, c := range g.CyclicNodes() {
+		if c {
+			return false
+		}
+	}
+	return true
+}

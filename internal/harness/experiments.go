@@ -1,0 +1,439 @@
+package harness
+
+import (
+	"fmt"
+
+	"magiccounting/internal/core"
+	"magiccounting/internal/workload"
+)
+
+// Regime names a magic-graph class of Table 1.
+type Regime string
+
+const (
+	Regular Regime = "regular"
+	Acyclic Regime = "acyclic" // non-regular acyclic
+	Cyclic  Regime = "cyclic"
+)
+
+// RegimeWorkload generates the canonical workload used for a regime at
+// scale n: a binary same-generation tree (regular), a shortcut chain
+// (acyclic non-regular), or a lasso (cyclic).
+func RegimeWorkload(r Regime, n int) core.Query {
+	switch r {
+	case Regular:
+		// A grid keeps every node single while giving the magic set
+		// method quadratically many P_M pairs per level — the shape
+		// where Table 1's Θ(mL+nL·mR) vs Θ(mL·mR) split is visible.
+		side := 2
+		for side*side < n {
+			side++
+		}
+		return workload.Grid(side, side)
+	case Acyclic:
+		return workload.ShortcutChain(n, 3)
+	case Cyclic:
+		return workload.Lasso(n/2, n-n/2)
+	default:
+		panic("harness: unknown regime " + string(r))
+	}
+}
+
+// DefaultSizes is the sweep used by the experiment tables.
+var DefaultSizes = []int{16, 32, 64}
+
+// Tab1 regenerates Table 1: counting vs magic set cost across the
+// three magic-graph regimes, against the paper's Θ formulas.
+func Tab1(sizes []int) *Table {
+	t := &Table{
+		ID:    "Table 1",
+		Title: "costs of the counting and magic set methods (tuple retrievals)",
+		Header: []string{"regime", "nL", "mL", "mR", "counting", "magic",
+			"Θ_C", "Θ_Ms", "C/Θ_C", "Ms/Θ_Ms"},
+	}
+	counting, _ := MethodByName("counting")
+	magic, _ := MethodByName("magic")
+	for _, regime := range []Regime{Regular, Acyclic, Cyclic} {
+		for _, n := range sizes {
+			q := RegimeWorkload(regime, n)
+			p := q.Params()
+			var thetaC int64
+			switch regime {
+			case Regular:
+				thetaC = int64(p.ML + p.NL*p.MR)
+			case Acyclic:
+				thetaC = int64(p.NL*p.ML + p.NL*p.MR)
+			case Cyclic:
+				thetaC = 0 // unsafe
+			}
+			thetaMs := int64(p.ML * p.MR)
+			cCost := cost(counting, q)
+			msCost := mustCost(magic, q)
+			row := []string{
+				string(regime),
+				fmt.Sprint(p.NL), fmt.Sprint(p.ML), fmt.Sprint(p.MR),
+				cCost, fmt.Sprint(msCost),
+				thetaStr(thetaC), fmt.Sprint(thetaMs),
+				ratioStr(cCost, thetaC), fmt.Sprintf("%.2f", float64(msCost)/float64(thetaMs)),
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"counting is Θ(mL+nL·mR) regular, Θ(nL·mL+nL·mR) acyclic, unsafe cyclic; magic is Θ(mL·mR) throughout",
+		"ratios should stay bounded (and roughly flat) as sizes grow")
+	return t
+}
+
+func thetaStr(v int64) string {
+	if v == 0 {
+		return "—"
+	}
+	return fmt.Sprint(v)
+}
+
+func ratioStr(measured string, theta int64) string {
+	if measured == "unsafe" || theta == 0 {
+		return "—"
+	}
+	var m int64
+	fmt.Sscan(measured, &m)
+	return fmt.Sprintf("%.2f", float64(m)/float64(theta))
+}
+
+// Tab2 regenerates Table 2: the basic magic counting methods match
+// counting on regular graphs and magic on non-regular ones.
+func Tab2(sizes []int) *Table {
+	t := &Table{
+		ID:     "Table 2",
+		Title:  "costs of the basic magic counting methods",
+		Header: []string{"regime", "nL", "counting", "magic", "mc-basic-ind", "mc-basic-int"},
+	}
+	counting, _ := MethodByName("counting")
+	magic, _ := MethodByName("magic")
+	bi, _ := MethodByName("mc-basic-ind")
+	bt, _ := MethodByName("mc-basic-int")
+	for _, regime := range []Regime{Regular, Acyclic, Cyclic} {
+		for _, n := range sizes {
+			q := RegimeWorkload(regime, n)
+			p := q.Params()
+			t.Rows = append(t.Rows, []string{
+				string(regime), fmt.Sprint(p.NL),
+				cost(counting, q), fmt.Sprint(mustCost(magic, q)),
+				fmt.Sprint(mustCost(bi, q)), fmt.Sprint(mustCost(bt, q)),
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"B =_R C (within Step 1 overhead) and B =_{A,C} Ms: basic follows the winner of Table 1 in each regime")
+	return t
+}
+
+// Tab3 regenerates Table 3: the single methods on frontier graphs
+// with a regular prefix region of growing size.
+func Tab3(sizes []int) *Table {
+	t := &Table{
+		ID:    "Table 3",
+		Title: "costs of the single magic counting methods (frontier graphs)",
+		Header: []string{"cyclic", "low", "i_x", "nX", "mX",
+			"mc-basic-ind", "mc-single-ind", "mc-single-int"},
+	}
+	b, _ := MethodByName("mc-basic-ind")
+	si, _ := MethodByName("mc-single-ind")
+	st, _ := MethodByName("mc-single-int")
+	for _, cyc := range []bool{false, true} {
+		for _, low := range sizes {
+			q := workload.SingleFrontier(low, 10, cyc)
+			p := q.Params()
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprint(cyc), fmt.Sprint(low), fmt.Sprint(p.IX),
+				fmt.Sprint(p.NX), fmt.Sprint(p.MX),
+				fmt.Sprint(mustCost(b, q)),
+				fmt.Sprint(mustCost(si, q)),
+				fmt.Sprint(mustCost(st, q)),
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"S_IND ≤ B and S_INT ≤ S_IND on non-regular graphs (Proposition 5): the regular prefix is kept in RC")
+	return t
+}
+
+// Tab4 regenerates Table 4: the multiple methods on comb graphs where
+// a single early multiple node ruins the single method's split but
+// not the multiple method's.
+func Tab4(sizes []int) *Table {
+	t := &Table{
+		ID:    "Table 4",
+		Title: "costs of the multiple magic counting methods (comb graphs)",
+		Header: []string{"spine", "nS", "mS",
+			"mc-single-ind", "mc-single-int", "mc-multiple-ind", "mc-multiple-int"},
+	}
+	si, _ := MethodByName("mc-single-ind")
+	st, _ := MethodByName("mc-single-int")
+	mi, _ := MethodByName("mc-multiple-ind")
+	mt, _ := MethodByName("mc-multiple-int")
+	for _, spine := range sizes {
+		q := workload.Comb(spine)
+		p := q.Params()
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(spine), fmt.Sprint(p.NS), fmt.Sprint(p.MS),
+			fmt.Sprint(mustCost(si, q)), fmt.Sprint(mustCost(st, q)),
+			fmt.Sprint(mustCost(mi, q)), fmt.Sprint(mustCost(mt, q)),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"M ≤ S (Proposition 6): the multiple methods keep every single node in RC regardless of level")
+	return t
+}
+
+// Tab5 regenerates Table 5: the recurring methods on cycle-tail
+// graphs whose multiple region only the recurring strategy keeps in
+// RC, plus the cost of the two Step 1 variants.
+func Tab5(sizes []int) *Table {
+	t := &Table{
+		ID:    "Table 5",
+		Title: "costs of the recurring magic counting methods (cycle-tail graphs)",
+		Header: []string{"spine", "nM", "mM",
+			"mc-multiple-ind", "mc-multiple-int", "mc-recurring-ind", "mc-recurring-int", "mc-recurring-scc"},
+	}
+	mi, _ := MethodByName("mc-multiple-ind")
+	mt, _ := MethodByName("mc-multiple-int")
+	ri, _ := MethodByName("mc-recurring-ind")
+	rt, _ := MethodByName("mc-recurring-int")
+	rs, _ := MethodByName("mc-recurring-scc")
+	for _, spine := range sizes {
+		q := workload.CycleTail(spine, 6)
+		p := q.Params()
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(spine), fmt.Sprint(p.NM), fmt.Sprint(p.MM),
+			fmt.Sprint(mustCost(mi, q)), fmt.Sprint(mustCost(mt, q)),
+			fmt.Sprint(mustCost(ri, q)), fmt.Sprint(mustCost(rt, q)),
+			fmt.Sprint(mustCost(rs, q)),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"R ≤~ M on average (Proposition 7); Step 1 is no longer O(mL), which the SCC variant repairs")
+	return t
+}
+
+// Fig1 reruns the Figure 1 example: the reconstructed query graph in
+// its three regimes, with every method's answer count and cost.
+func Fig1() *Table {
+	t := &Table{
+		ID:     "Figure 1",
+		Title:  "the paper's running example (reconstruction): answers and costs per regime",
+		Header: []string{"variant", "method", "answers", "retrievals"},
+	}
+	variants := []struct {
+		name string
+		q    core.Query
+	}{
+		{"base (regular)", workload.PaperFig1()},
+		{"+⟨a2,a5⟩ (acyclic)", workload.PaperFig1Acyclic()},
+		{"+⟨a5,a2⟩ (cyclic)", workload.PaperFig1Cyclic()},
+	}
+	for _, v := range variants {
+		for _, name := range []string{"counting", "magic", "mc-multiple-int", "mc-recurring-int"} {
+			def, _ := MethodByName(name)
+			res, err := def.Run(v.q)
+			if err != nil {
+				t.Rows = append(t.Rows, []string{v.name, name, "—", "unsafe"})
+				continue
+			}
+			t.Rows = append(t.Rows, []string{
+				v.name, name,
+				fmt.Sprintf("%v", res.Answers),
+				fmt.Sprint(res.Stats.Retrievals),
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"every safe run returns the paper's answer set {b3 b5 b7 b8 b9}; b3 is reached through the cyclic R-side path at b8")
+	return t
+}
+
+// Fig2 reruns the Figure 2 example: per-strategy reduced sets and the
+// §7–§9 graph parameters of the reconstructed magic graph.
+func Fig2() *Table {
+	t := &Table{
+		ID:     "Figure 2",
+		Title:  "reduced sets and graph parameters of the reconstructed magic graph",
+		Header: []string{"strategy", "|RM|", "|RC| pairs", "RM members"},
+	}
+	q := workload.PaperFig2()
+	for _, s := range []core.Strategy{core.Basic, core.Single, core.Multiple, core.Recurring} {
+		rs, names, err := q.ReducedSetsFor(s, core.Independent, core.Options{})
+		if err != nil {
+			panic(err)
+		}
+		var rm []string
+		for v, in := range rs.RM {
+			if in {
+				rm = append(rm, names[v])
+			}
+		}
+		nRM, nRC := len(rm), len(rs.RCPairs())
+		t.Rows = append(t.Rows, []string{
+			s.String(), fmt.Sprint(nRM), fmt.Sprint(nRC), fmt.Sprintf("%v", rm),
+		})
+	}
+	p := q.Params()
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("i_x=%d nX=%d mX=%d nĵ=%d mĵ=%d (paper: 2,4,3,1,1)", p.IX, p.NX, p.MX, p.NJhat, p.MJhat),
+		fmt.Sprintf("nS=%d mS=%d nî=%d mî=%d (paper: 6,6,2,3)", p.NS, p.MS, p.NIhat, p.MIhat),
+		fmt.Sprintf("nM=%d mM=%d nm̂=%d mm̂=%d (paper: 8,9 and — see DESIGN.md — 7,8 unattainable; reconstruction pins 5,7)",
+			p.NM, p.MM, p.NMhat, p.MMhat),
+	)
+	return t
+}
+
+// HierarchyClaim is one ≤ relation of Figure 3: on graphs of the
+// given regimes, Left should cost no more than Right (within the slack
+// factor, which absorbs Step 1 overheads the Θ notation hides).
+type HierarchyClaim struct {
+	Left, Right string
+	Regimes     []Regime
+	Slack       float64
+}
+
+// Fig3Claims are the orderings Figure 3 asserts, restated over the
+// method registry. Slack 1.0 means a strict ≤ in measured cost;
+// larger slacks cover claims that hold asymptotically or on average.
+var Fig3Claims = []HierarchyClaim{
+	// Counting beats magic off-cycle (Proposition 2).
+	{"counting", "magic", []Regime{Regular, Acyclic}, 1.0},
+	// All magic counting methods coincide with counting on regular
+	// graphs, paying only the Step 1 flag probes.
+	{"mc-basic-ind", "counting", []Regime{Regular}, 1.6},
+	{"mc-single-int", "counting", []Regime{Regular}, 1.6},
+	{"mc-multiple-int", "counting", []Regime{Regular}, 2.2},
+	{"mc-recurring-int", "counting", []Regime{Regular}, 2.2},
+	// The strategy ladder, independent mode (Propositions 5–7).
+	{"mc-single-ind", "mc-basic-ind", []Regime{Regular, Acyclic, Cyclic}, 1.05},
+	{"mc-multiple-ind", "mc-single-ind", []Regime{Regular, Acyclic, Cyclic}, 1.3},
+	{"mc-recurring-ind", "mc-multiple-ind", []Regime{Regular, Acyclic, Cyclic}, 2.2},
+	// The strategy ladder, integrated mode.
+	{"mc-single-int", "mc-basic-int", []Regime{Regular, Acyclic, Cyclic}, 1.05},
+	{"mc-multiple-int", "mc-single-int", []Regime{Regular, Acyclic, Cyclic}, 1.3},
+	{"mc-recurring-int", "mc-multiple-int", []Regime{Regular, Acyclic, Cyclic}, 2.2},
+	// Integrated beats independent at fixed strategy.
+	{"mc-single-int", "mc-single-ind", []Regime{Regular, Acyclic, Cyclic}, 1.0},
+	{"mc-multiple-int", "mc-multiple-ind", []Regime{Regular, Acyclic, Cyclic}, 1.0},
+	{"mc-recurring-int", "mc-recurring-ind", []Regime{Regular, Acyclic, Cyclic}, 1.0},
+	// Magic counting never loses to the magic set method by more than
+	// Step 1 overhead, and wins where counting applies.
+	{"mc-multiple-int", "magic", []Regime{Regular, Acyclic, Cyclic}, 1.6},
+	// The Tarjan Step 1 repairs the recurring method's superlinear
+	// reduced-set computation where it hurts: on cyclic graphs.
+	{"mc-recurring-scc", "mc-recurring-int", []Regime{Cyclic}, 1.0},
+}
+
+// CheckHierarchy evaluates every Figure 3 claim on the regime
+// workloads at the given sizes, returning human-readable violations
+// (empty = the measured hierarchy matches the paper).
+func CheckHierarchy(sizes []int) []string {
+	var violations []string
+	type key struct {
+		name   string
+		regime Regime
+		n      int
+	}
+	memo := map[key]int64{}
+	get := func(name string, regime Regime, n int) int64 {
+		k := key{name, regime, n}
+		if v, ok := memo[k]; ok {
+			return v
+		}
+		def, ok := MethodByName(name)
+		if !ok {
+			panic("harness: unknown method " + name)
+		}
+		v := mustCost(def, RegimeWorkload(regime, n))
+		memo[k] = v
+		return v
+	}
+	for _, c := range Fig3Claims {
+		for _, regime := range c.Regimes {
+			for _, n := range sizes {
+				l := get(c.Left, regime, n)
+				r := get(c.Right, regime, n)
+				if float64(l) > float64(r)*c.Slack {
+					violations = append(violations, fmt.Sprintf(
+						"%s (%d) should be ≤ %s (%d) ×%.2f on %s n=%d",
+						c.Left, l, c.Right, r, c.Slack, regime, n))
+				}
+			}
+		}
+	}
+	return violations
+}
+
+// Fig3 renders the full method-by-regime cost matrix plus the claim
+// verdicts.
+func Fig3(sizes []int) *Table {
+	t := &Table{
+		ID:     "Figure 3",
+		Title:  "efficiency hierarchy: cost of every method per regime",
+		Header: []string{"regime", "n"},
+	}
+	names := []string{"counting", "magic", "mc-basic-ind", "mc-basic-int",
+		"mc-single-ind", "mc-single-int", "mc-multiple-ind", "mc-multiple-int",
+		"mc-recurring-ind", "mc-recurring-int", "mc-recurring-scc"}
+	t.Header = append(t.Header, names...)
+	for _, regime := range []Regime{Regular, Acyclic, Cyclic} {
+		for _, n := range sizes {
+			q := RegimeWorkload(regime, n)
+			row := []string{string(regime), fmt.Sprint(n)}
+			for _, name := range names {
+				def, _ := MethodByName(name)
+				row = append(row, cost(def, q))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	violations := CheckHierarchy(sizes)
+	if len(violations) == 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf("all %d Figure 3 orderings hold on this sweep", len(Fig3Claims)))
+	} else {
+		for _, v := range violations {
+			t.Notes = append(t.Notes, "VIOLATION: "+v)
+		}
+	}
+	return t
+}
+
+// All runs every experiment at the default sizes.
+func All() []*Table {
+	return []*Table{
+		Tab1(DefaultSizes), Tab2(DefaultSizes), Tab3(DefaultSizes),
+		Tab4(DefaultSizes), Tab5(DefaultSizes),
+		Fig1(), Fig2(), Fig3(DefaultSizes),
+	}
+}
+
+// ByID returns the experiment runner for an id like "tab1" or "fig3".
+func ByID(id string, sizes []int) (*Table, error) {
+	switch id {
+	case "tab1":
+		return Tab1(sizes), nil
+	case "tab2":
+		return Tab2(sizes), nil
+	case "tab3":
+		return Tab3(sizes), nil
+	case "tab4":
+		return Tab4(sizes), nil
+	case "tab5":
+		return Tab5(sizes), nil
+	case "fig1":
+		return Fig1(), nil
+	case "fig2":
+		return Fig2(), nil
+	case "fig3":
+		return Fig3(sizes), nil
+	case "growth":
+		return GrowthTable(sizes), nil
+	default:
+		return nil, fmt.Errorf("harness: unknown experiment %q (want tab1..tab5, fig1..fig3, growth)", id)
+	}
+}

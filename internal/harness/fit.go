@@ -1,0 +1,121 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+
+	"magiccounting/internal/core"
+)
+
+// GrowthPoint is one (problem size, cost) sample of a sweep.
+type GrowthPoint struct {
+	// Size is the structural size the cost is regressed against
+	// (we use m_L + m_R, the database size).
+	Size int
+	// Cost is the measured tuple-retrieval count.
+	Cost int64
+}
+
+// FitExponent estimates the growth exponent alpha of cost ≈ c·size^alpha
+// by least-squares regression in log-log space. At least two points
+// with distinct sizes are required.
+func FitExponent(points []GrowthPoint) (alpha float64, err error) {
+	var xs, ys []float64
+	for _, p := range points {
+		if p.Size <= 0 || p.Cost <= 0 {
+			continue
+		}
+		xs = append(xs, math.Log(float64(p.Size)))
+		ys = append(ys, math.Log(float64(p.Cost)))
+	}
+	if len(xs) < 2 {
+		return 0, fmt.Errorf("harness: need at least two positive samples, have %d", len(xs))
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	n := float64(len(xs))
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, fmt.Errorf("harness: all samples have the same size")
+	}
+	return (n*sxy - sx*sy) / den, nil
+}
+
+// MethodGrowth sweeps a method over the regime workloads at the given
+// sizes and fits its cost growth exponent against database size.
+func MethodGrowth(method string, regime Regime, sizes []int) (float64, error) {
+	def, ok := MethodByName(method)
+	if !ok {
+		return 0, fmt.Errorf("harness: unknown method %q", method)
+	}
+	var points []GrowthPoint
+	for _, n := range sizes {
+		q := RegimeWorkload(regime, n)
+		p := q.Params()
+		res, err := def.Run(q)
+		if err != nil {
+			return 0, err
+		}
+		points = append(points, GrowthPoint{Size: p.ML + p.MR, Cost: res.Stats.Retrievals})
+	}
+	return FitExponent(points)
+}
+
+// GrowthTable reports fitted exponents for the headline methods per
+// regime — the quantitative form of Table 1's asymptotic claims.
+func GrowthTable(sizes []int) *Table {
+	t := &Table{
+		ID:     "Growth",
+		Title:  "fitted cost growth exponents (cost ~ size^alpha over the sweep)",
+		Header: []string{"regime", "method", "alpha"},
+		Notes: []string{
+			"regular: counting grows ~linearly in database size, magic super-linearly",
+			"the gap between the two alphas is Table 1's asymptotic separation",
+		},
+	}
+	for _, regime := range []Regime{Regular, Acyclic, Cyclic} {
+		for _, m := range []string{"counting", "magic", "mc-multiple-int", "mc-recurring-scc"} {
+			if regime == Cyclic && m == "counting" {
+				t.Rows = append(t.Rows, []string{string(regime), m, "unsafe"})
+				continue
+			}
+			alpha, err := MethodGrowth(m, regime, sizes)
+			if err != nil {
+				t.Rows = append(t.Rows, []string{string(regime), m, "error"})
+				continue
+			}
+			t.Rows = append(t.Rows, []string{string(regime), m, fmt.Sprintf("%.2f", alpha)})
+		}
+	}
+	return t
+}
+
+// CostBoundCheck verifies that a method's measured cost stays within
+// factor times a Θ bound computed from the graph parameters, across
+// the sweep. It returns violations.
+func CostBoundCheck(method string, regime Regime, sizes []int, bound func(core.GraphParams) int64, factor float64) []string {
+	def, ok := MethodByName(method)
+	if !ok {
+		return []string{"unknown method " + method}
+	}
+	var violations []string
+	for _, n := range sizes {
+		q := RegimeWorkload(regime, n)
+		p := q.Params()
+		res, err := def.Run(q)
+		if err != nil {
+			violations = append(violations, fmt.Sprintf("%s on %s n=%d: %v", method, regime, n, err))
+			continue
+		}
+		if limit := float64(bound(p)) * factor; float64(res.Stats.Retrievals) > limit {
+			violations = append(violations, fmt.Sprintf(
+				"%s on %s n=%d: cost %d exceeds %.0f", method, regime, n, res.Stats.Retrievals, limit))
+		}
+	}
+	return violations
+}

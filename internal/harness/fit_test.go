@@ -1,0 +1,107 @@
+package harness
+
+import (
+	"math"
+	"testing"
+
+	"magiccounting/internal/core"
+)
+
+func TestFitExponentExact(t *testing.T) {
+	// cost = 3·size^2 exactly.
+	var pts []GrowthPoint
+	for _, s := range []int{10, 20, 40, 80} {
+		pts = append(pts, GrowthPoint{Size: s, Cost: int64(3 * s * s)})
+	}
+	alpha, err := FitExponent(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(alpha-2) > 0.01 {
+		t.Fatalf("alpha = %f, want 2", alpha)
+	}
+}
+
+func TestFitExponentErrors(t *testing.T) {
+	if _, err := FitExponent(nil); err == nil {
+		t.Fatal("no samples should error")
+	}
+	if _, err := FitExponent([]GrowthPoint{{10, 5}, {10, 9}}); err == nil {
+		t.Fatal("degenerate sizes should error")
+	}
+	if _, err := FitExponent([]GrowthPoint{{10, 5}, {0, 9}, {-3, 2}}); err == nil {
+		t.Fatal("nonpositive samples must be dropped, leaving too few")
+	}
+}
+
+// Table 1's asymptotics, quantitatively: on the regular regime the
+// counting method's exponent stays well below the magic set method's.
+func TestGrowthSeparationOnRegular(t *testing.T) {
+	sizes := []int{25, 64, 144, 400}
+	cAlpha, err := MethodGrowth("counting", Regular, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mAlpha, err := MethodGrowth("magic", Regular, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cAlpha > 1.25 {
+		t.Fatalf("counting alpha = %.2f, want ~1 on regular graphs", cAlpha)
+	}
+	if mAlpha < cAlpha+0.3 {
+		t.Fatalf("magic alpha %.2f should exceed counting %.2f by a clear margin", mAlpha, cAlpha)
+	}
+}
+
+// On the cyclic regime the safe methods all stay within the magic
+// set method's Θ(mL·mR) envelope.
+func TestCostBoundsCyclic(t *testing.T) {
+	bound := func(p core.GraphParams) int64 { return int64(p.ML*p.MR) + int64(p.ML) + 64 }
+	for _, m := range []string{"magic", "mc-basic-ind", "mc-multiple-int", "mc-recurring-scc"} {
+		if v := CostBoundCheck(m, Cyclic, []int{16, 64, 128}, bound, 2.0); len(v) != 0 {
+			t.Fatalf("%s: %v", m, v)
+		}
+	}
+}
+
+func TestCostBoundCheckReportsViolationsAndUnknown(t *testing.T) {
+	tiny := func(core.GraphParams) int64 { return 1 }
+	if v := CostBoundCheck("magic", Regular, []int{16}, tiny, 1.0); len(v) == 0 {
+		t.Fatal("impossible bound should be violated")
+	}
+	if v := CostBoundCheck("nosuch", Regular, []int{16}, tiny, 1.0); len(v) == 0 {
+		t.Fatal("unknown method should report")
+	}
+	if v := CostBoundCheck("counting", Cyclic, []int{16}, tiny, 1.0); len(v) == 0 {
+		t.Fatal("unsafe run should report")
+	}
+}
+
+func TestMethodGrowthErrors(t *testing.T) {
+	if _, err := MethodGrowth("nosuch", Regular, []int{16, 32}); err == nil {
+		t.Fatal("unknown method should error")
+	}
+	if _, err := MethodGrowth("counting", Cyclic, []int{16, 32}); err == nil {
+		t.Fatal("unsafe method should error")
+	}
+}
+
+func TestGrowthTableRuns(t *testing.T) {
+	tab := GrowthTable([]int{16, 36, 64})
+	if len(tab.Rows) != 12 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	sawUnsafe := false
+	for _, row := range tab.Rows {
+		if row[2] == "unsafe" {
+			sawUnsafe = true
+		}
+		if row[2] == "error" {
+			t.Fatalf("unexpected error row %v", row)
+		}
+	}
+	if !sawUnsafe {
+		t.Fatal("cyclic counting row should be unsafe")
+	}
+}

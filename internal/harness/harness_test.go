@@ -1,0 +1,309 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestMethodRegistry(t *testing.T) {
+	if len(Methods) != 13 {
+		t.Fatalf("method count = %d, want 13", len(Methods))
+	}
+	seen := map[string]bool{}
+	for _, m := range Methods {
+		if m.Name == "" || m.Describe == "" || m.Run == nil {
+			t.Fatalf("incomplete method def %+v", m)
+		}
+		if seen[m.Name] {
+			t.Fatalf("duplicate method %s", m.Name)
+		}
+		seen[m.Name] = true
+	}
+	if _, ok := MethodByName("magic"); !ok {
+		t.Fatal("magic missing")
+	}
+	if _, ok := MethodByName("nosuch"); ok {
+		t.Fatal("unknown method resolved")
+	}
+	if len(MethodNames()) != len(Methods) {
+		t.Fatal("MethodNames length mismatch")
+	}
+}
+
+func TestAllMethodsAgreeOnRegimeWorkloads(t *testing.T) {
+	for _, regime := range []Regime{Regular, Acyclic, Cyclic} {
+		q := RegimeWorkload(regime, 16)
+		want, err := q.SolveNaive()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range Methods {
+			res, err := m.Run(q)
+			if err != nil {
+				if regime == Cyclic && m.Name == "counting" {
+					continue // the expected unsafe case
+				}
+				t.Fatalf("%s on %s: %v", m.Name, regime, err)
+			}
+			if len(res.Answers) != len(want.Answers) {
+				t.Fatalf("%s on %s: %d answers, want %d", m.Name, regime, len(res.Answers), len(want.Answers))
+			}
+		}
+	}
+}
+
+func TestTab1ShapesHold(t *testing.T) {
+	tab := Tab1([]int{16, 32})
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		regime, counting, magic := row[0], row[4], row[5]
+		if regime == "cyclic" {
+			if counting != "unsafe" {
+				t.Fatalf("cyclic counting = %s, want unsafe", counting)
+			}
+			continue
+		}
+		var c, m int64
+		mustScan(t, counting, &c)
+		mustScan(t, magic, &m)
+		if regime == "regular" && c >= m {
+			t.Fatalf("regular: counting %d should beat magic %d", c, m)
+		}
+	}
+}
+
+func TestTab1RatiosBounded(t *testing.T) {
+	// The measured/Θ ratios must stay within a constant band across
+	// the sweep — that is what "reproducing the Θ rows" means here.
+	tab := Tab1([]int{16, 32, 64})
+	for _, row := range tab.Rows {
+		for _, col := range []int{8, 9} {
+			if row[col] == "—" {
+				continue
+			}
+			var ratio float64
+			mustScan(t, row[col], &ratio)
+			if ratio <= 0 || ratio > 8 {
+				t.Fatalf("ratio %s out of band in row %v", row[col], row)
+			}
+		}
+	}
+}
+
+func TestTab2BasicTracksWinner(t *testing.T) {
+	tab := Tab2([]int{16, 32})
+	for _, row := range tab.Rows {
+		regime := row[0]
+		var magic, bi, bt int64
+		mustScan(t, row[3], &magic)
+		mustScan(t, row[4], &bi)
+		mustScan(t, row[5], &bt)
+		switch regime {
+		case "regular":
+			var counting int64
+			mustScan(t, row[2], &counting)
+			if float64(bi) > 1.7*float64(counting) {
+				t.Fatalf("regular basic %d vs counting %d", bi, counting)
+			}
+		default:
+			if float64(bi) > 1.7*float64(magic) || float64(bt) > 1.7*float64(magic) {
+				t.Fatalf("%s basic %d/%d vs magic %d", regime, bi, bt, magic)
+			}
+		}
+	}
+}
+
+func TestTab3SingleBeatsBasic(t *testing.T) {
+	tab := Tab3([]int{16, 32})
+	for _, row := range tab.Rows {
+		var b, si, st int64
+		mustScan(t, row[5], &b)
+		mustScan(t, row[6], &si)
+		mustScan(t, row[7], &st)
+		// S_IND ≤ B is a Θ relation: on frontier graphs where every
+		// prefix node reaches the non-regular region (m_ĵ ≈ 0), the
+		// independent single method pays its counting part on top of
+		// nearly the basic method's magic part, so allow the additive
+		// slack the Θ notation hides.
+		if float64(si) > 1.3*float64(b) {
+			t.Fatalf("single-ind %d should be <= 1.3x basic %d (row %v)", si, b, row)
+		}
+		if st > si {
+			t.Fatalf("single-int %d should be <= single-ind %d (row %v)", st, si, row)
+		}
+	}
+	// The integrated single method's advantage over basic must grow
+	// with the regular prefix length.
+	firstGap := gap(t, tab.Rows[0])
+	lastGap := gap(t, tab.Rows[1])
+	if lastGap <= firstGap {
+		t.Fatalf("single advantage should grow with prefix: %f vs %f", firstGap, lastGap)
+	}
+}
+
+func gap(t *testing.T, row []string) float64 {
+	var b, st int64
+	mustScan(t, row[5], &b)
+	mustScan(t, row[7], &st)
+	return float64(b) - float64(st)
+}
+
+func TestTab4MultipleBeatsSingle(t *testing.T) {
+	tab := Tab4([]int{16, 32})
+	for _, row := range tab.Rows {
+		var si, mi, mt int64
+		mustScan(t, row[3], &si)
+		mustScan(t, row[5], &mi)
+		mustScan(t, row[6], &mt)
+		if mi > si {
+			t.Fatalf("multiple-ind %d should be <= single-ind %d (row %v)", mi, si, row)
+		}
+		if mt > mi {
+			t.Fatalf("multiple-int %d should be <= multiple-ind %d (row %v)", mt, mi, row)
+		}
+	}
+}
+
+func TestTab5RecurringBeatsMultipleStep2(t *testing.T) {
+	tab := Tab5([]int{24, 48})
+	for _, row := range tab.Rows {
+		var mi, ri, rt, rs int64
+		mustScan(t, row[3], &mi)
+		mustScan(t, row[5], &ri)
+		mustScan(t, row[6], &rt)
+		mustScan(t, row[7], &rs)
+		// Recurring wins on average (its Step 1 is costlier but Step 2
+		// far cheaper on this shape); allow the asymptotic claim some
+		// slack at small sizes.
+		if float64(ri) > 2.2*float64(mi) {
+			t.Fatalf("recurring-ind %d should not exceed multiple-ind %d by >2.2x", ri, mi)
+		}
+		if rt > ri {
+			t.Fatalf("recurring-int %d should be <= recurring-ind %d", rt, ri)
+		}
+		if rs > rt {
+			t.Fatalf("recurring-scc %d should be <= recurring-int %d (cheaper Step 1)", rs, rt)
+		}
+	}
+}
+
+func TestFig1Table(t *testing.T) {
+	tab := Fig1()
+	unsafeSeen := false
+	for _, row := range tab.Rows {
+		if row[3] == "unsafe" {
+			if row[1] != "counting" || !strings.Contains(row[0], "cyclic") {
+				t.Fatalf("unexpected unsafe row %v", row)
+			}
+			unsafeSeen = true
+			continue
+		}
+		if !strings.Contains(row[2], "b3") || !strings.Contains(row[2], "b9") {
+			t.Fatalf("row %v missing paper answers", row)
+		}
+	}
+	if !unsafeSeen {
+		t.Fatal("cyclic counting row should be unsafe")
+	}
+}
+
+func TestFig2Table(t *testing.T) {
+	tab := Fig2()
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Basic assigns all 12 nodes to RM; recurring only the 4 cycle
+	// nodes.
+	if tab.Rows[0][1] != "12" || tab.Rows[3][1] != "4" {
+		t.Fatalf("RM sizes = %v / %v", tab.Rows[0], tab.Rows[3])
+	}
+}
+
+func TestFig3HierarchyHolds(t *testing.T) {
+	violations := CheckHierarchy([]int{16, 32, 64})
+	for _, v := range violations {
+		t.Error(v)
+	}
+}
+
+func TestFig3TableRenders(t *testing.T) {
+	tab := Fig3([]int{16})
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "mc-recurring-scc") || !strings.Contains(out, "unsafe") {
+		t.Fatalf("render output incomplete:\n%s", out)
+	}
+}
+
+func TestByID(t *testing.T) {
+	for _, id := range []string{"tab1", "tab2", "tab3", "tab4", "tab5", "fig1", "fig2", "fig3"} {
+		tab, err := ByID(id, []int{8, 16})
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tab.Rows) == 0 {
+			t.Fatalf("%s produced no rows", id)
+		}
+	}
+	if _, err := ByID("nope", DefaultSizes); err == nil {
+		t.Fatal("unknown id should error")
+	}
+}
+
+func TestAllProducesEveryExperiment(t *testing.T) {
+	tables := All()
+	if len(tables) != 8 {
+		t.Fatalf("All() = %d tables, want 8", len(tables))
+	}
+	ids := map[string]bool{}
+	for _, tab := range tables {
+		ids[tab.ID] = true
+	}
+	for _, want := range []string{"Table 1", "Table 5", "Figure 1", "Figure 3"} {
+		if !ids[want] {
+			t.Fatalf("missing %s", want)
+		}
+	}
+}
+
+func TestRegimeWorkloadClasses(t *testing.T) {
+	if p := RegimeWorkload(Regular, 20).Params(); !p.Regular {
+		t.Fatal("regular workload not regular")
+	}
+	if p := RegimeWorkload(Acyclic, 20).Params(); p.Regular || p.Cyclic {
+		t.Fatal("acyclic workload wrong class")
+	}
+	if p := RegimeWorkload(Cyclic, 20).Params(); !p.Cyclic {
+		t.Fatal("cyclic workload not cyclic")
+	}
+}
+
+func TestCostRendersUnsafe(t *testing.T) {
+	counting, _ := MethodByName("counting")
+	q := RegimeWorkload(Cyclic, 12)
+	if cost(counting, q) != "unsafe" {
+		t.Fatal("cost should render unsafe")
+	}
+}
+
+func TestMustCostPanicsOnUnsafe(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	counting, _ := MethodByName("counting")
+	mustCost(counting, RegimeWorkload(Cyclic, 12))
+}
+
+func mustScan(t *testing.T, s string, v interface{}) {
+	t.Helper()
+	if _, err := fmt.Sscan(s, v); err != nil {
+		t.Fatalf("scan %q: %v", s, err)
+	}
+}

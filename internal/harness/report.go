@@ -1,0 +1,68 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteHierarchyDOT renders Figure 3's partial order as Graphviz DOT:
+// one node per method, one arc per ≤ claim, labeled with the regimes
+// it holds on (solid for strict claims, dashed for average-case
+// ones, matching the paper's solid/dotted arcs).
+func WriteHierarchyDOT(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, `digraph "fig3_hierarchy" {`); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, `  rankdir=BT;`)
+	nodes := map[string]bool{}
+	for _, c := range Fig3Claims {
+		nodes[c.Left] = true
+		nodes[c.Right] = true
+	}
+	var names []string
+	for n := range nodes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(w, "  %q;\n", n)
+	}
+	for _, c := range Fig3Claims {
+		style := "solid"
+		if c.Slack > 1.0 {
+			style = "dashed"
+		}
+		label := ""
+		for i, r := range c.Regimes {
+			if i > 0 {
+				label += ","
+			}
+			label += string(r)[:1] // R, a, c initials as the paper labels arcs
+		}
+		fmt.Fprintf(w, "  %q -> %q [style=%s, label=%q];\n", c.Left, c.Right, style, label)
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+// JSONTable is the machine-readable form of a Table.
+type JSONTable struct {
+	ID     string     `json:"id"`
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	Notes  []string   `json:"notes,omitempty"`
+}
+
+// WriteJSON renders tables as a JSON array, for downstream plotting.
+func WriteJSON(w io.Writer, tables []*Table) error {
+	out := make([]JSONTable, len(tables))
+	for i, t := range tables {
+		out[i] = JSONTable{ID: t.ID, Title: t.Title, Header: t.Header, Rows: t.Rows, Notes: t.Notes}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,44 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestWriteHierarchyDOT(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteHierarchyDOT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`digraph "fig3_hierarchy"`,
+		`"counting" -> "magic"`,
+		`"mc-multiple-ind" -> "mc-single-ind"`,
+		"style=dashed", "style=solid",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "->") != len(Fig3Claims) {
+		t.Fatalf("arc count = %d, want %d", strings.Count(out, "->"), len(Fig3Claims))
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	tables := []*Table{Fig2()}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, tables); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []JSONTable
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != 1 || decoded[0].ID != "Figure 2" || len(decoded[0].Rows) != 4 {
+		t.Fatalf("decoded = %+v", decoded)
+	}
+}

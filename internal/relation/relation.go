@@ -1,0 +1,312 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// Relation is a set of same-arity tuples with optional hash indexes on
+// column subsets. Insertion is set-semantics: duplicates are ignored.
+// Scans and index probes charge the relation's Meter one retrieval per
+// tuple produced.
+type Relation struct {
+	name    string
+	arity   int
+	meter   *Meter
+	tuples  []Tuple
+	present map[string]struct{}
+	indexes map[string]*index // keyed by column-spec string
+}
+
+type index struct {
+	cols    []int
+	buckets map[string][]int // key over cols -> tuple positions
+}
+
+// New creates an empty relation with the given name and arity, charging
+// retrievals to meter (which may be nil for an unmetered relation).
+func New(name string, arity int, meter *Meter) *Relation {
+	if arity < 0 {
+		panic("relation: negative arity for " + name)
+	}
+	return &Relation{
+		name:    name,
+		arity:   arity,
+		meter:   meter,
+		present: make(map[string]struct{}),
+		indexes: make(map[string]*index),
+	}
+}
+
+// Name returns the relation's name.
+func (r *Relation) Name() string { return r.name }
+
+// Arity returns the number of columns.
+func (r *Relation) Arity() int { return r.arity }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Meter returns the meter charged by this relation's access paths.
+func (r *Relation) Meter() *Meter { return r.meter }
+
+// SetMeter redirects this relation's cost accounting to m.
+func (r *Relation) SetMeter(m *Meter) { r.meter = m }
+
+// Insert adds t to the relation if not already present and reports
+// whether it was new. The tuple is copied, so callers may reuse t.
+func (r *Relation) Insert(t Tuple) bool {
+	if len(t) != r.arity {
+		panic(fmt.Sprintf("relation: %s has arity %d, inserting %d-tuple %v", r.name, r.arity, len(t), t))
+	}
+	k := t.Key()
+	if _, ok := r.present[k]; ok {
+		return false
+	}
+	r.present[k] = struct{}{}
+	c := t.Clone()
+	pos := len(r.tuples)
+	r.tuples = append(r.tuples, c)
+	for _, ix := range r.indexes {
+		ik := keyAt(c, ix.cols)
+		ix.buckets[ik] = append(ix.buckets[ik], pos)
+	}
+	return true
+}
+
+// InsertValues is Insert on a tuple built from vs.
+func (r *Relation) InsertValues(vs ...Value) bool { return r.Insert(Tuple(vs)) }
+
+// Contains reports whether t is in the relation. It charges one
+// retrieval (the probe fetches the matching tuple, if any).
+func (r *Relation) Contains(t Tuple) bool {
+	_, ok := r.present[t.Key()]
+	r.meter.Add(1)
+	return ok
+}
+
+// Scan calls fn for every tuple, charging one retrieval each. fn must
+// not modify the tuple. Returning false from fn stops the scan early.
+func (r *Relation) Scan(fn func(Tuple) bool) {
+	for _, t := range r.tuples {
+		r.meter.Add(1)
+		if !fn(t) {
+			return
+		}
+	}
+}
+
+// Tuples returns the stored tuples in insertion order, uncharged. It is
+// intended for result extraction and tests, not for evaluation joins.
+func (r *Relation) Tuples() []Tuple { return r.tuples }
+
+// SortedTuples returns a sorted copy of the tuples, for deterministic
+// output.
+func (r *Relation) SortedTuples() []Tuple {
+	out := make([]Tuple, len(r.tuples))
+	copy(out, r.tuples)
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// EnsureIndex builds (once) a hash index on the given columns.
+func (r *Relation) EnsureIndex(cols ...int) {
+	spec := colSpec(cols)
+	if _, ok := r.indexes[spec]; ok {
+		return
+	}
+	for _, c := range cols {
+		if c < 0 || c >= r.arity {
+			panic(fmt.Sprintf("relation: index column %d out of range for %s/%d", c, r.name, r.arity))
+		}
+	}
+	ix := &index{cols: append([]int(nil), cols...), buckets: make(map[string][]int)}
+	for pos, t := range r.tuples {
+		k := keyAt(t, ix.cols)
+		ix.buckets[k] = append(ix.buckets[k], pos)
+	}
+	r.indexes[spec] = ix
+}
+
+// Lookup calls fn for every tuple whose cols match vals, charging one
+// retrieval per tuple produced. It uses a hash index, building one on
+// first use. Returning false from fn stops the lookup early.
+func (r *Relation) Lookup(cols []int, vals []Value, fn func(Tuple) bool) {
+	if len(cols) != len(vals) {
+		panic("relation: Lookup cols/vals length mismatch on " + r.name)
+	}
+	if len(cols) == 0 {
+		r.Scan(fn)
+		return
+	}
+	spec := colSpec(cols)
+	ix, ok := r.indexes[spec]
+	if !ok {
+		r.EnsureIndex(cols...)
+		ix = r.indexes[spec]
+	}
+	k := keyAt(Tuple(vals), indexIdentity(len(vals)))
+	for _, pos := range ix.buckets[k] {
+		r.meter.Add(1)
+		if !fn(r.tuples[pos]) {
+			return
+		}
+	}
+}
+
+// MatchCount returns how many tuples match vals on cols, charging one
+// retrieval per matching tuple (they are produced to be counted).
+func (r *Relation) MatchCount(cols []int, vals []Value) int {
+	n := 0
+	r.Lookup(cols, vals, func(Tuple) bool { n++; return true })
+	return n
+}
+
+// Clone returns a deep copy sharing the meter but not storage or
+// indexes.
+func (r *Relation) Clone() *Relation {
+	c := New(r.name, r.arity, r.meter)
+	for _, t := range r.tuples {
+		c.Insert(t)
+	}
+	return c
+}
+
+// InsertAll inserts every tuple of s into r and returns how many were
+// new. The relations must have equal arity.
+func (r *Relation) InsertAll(s *Relation) int {
+	if s.arity != r.arity {
+		panic(fmt.Sprintf("relation: InsertAll arity mismatch %s/%d vs %s/%d", r.name, r.arity, s.name, s.arity))
+	}
+	added := 0
+	for _, t := range s.tuples {
+		if r.Insert(t) {
+			added++
+		}
+	}
+	return added
+}
+
+// Difference returns the tuples of r not present in s, as a new
+// relation named name. Each candidate charges one retrieval from r and
+// one membership probe against s.
+func (r *Relation) Difference(name string, s *Relation) *Relation {
+	out := New(name, r.arity, r.meter)
+	r.Scan(func(t Tuple) bool {
+		if !s.Contains(t) {
+			out.Insert(t)
+		}
+		return true
+	})
+	return out
+}
+
+// Project returns a new relation named name holding the given columns
+// of every tuple, deduplicated. Each source tuple charges one
+// retrieval.
+func (r *Relation) Project(name string, cols ...int) *Relation {
+	out := New(name, len(cols), r.meter)
+	r.Scan(func(t Tuple) bool {
+		p := make(Tuple, len(cols))
+		for i, c := range cols {
+			p[i] = t[c]
+		}
+		out.Insert(p)
+		return true
+	})
+	return out
+}
+
+// Select returns the tuples satisfying pred, as a new relation.
+func (r *Relation) Select(name string, pred func(Tuple) bool) *Relation {
+	out := New(name, r.arity, r.meter)
+	r.Scan(func(t Tuple) bool {
+		if pred(t) {
+			out.Insert(t)
+		}
+		return true
+	})
+	return out
+}
+
+// Join computes the natural join of r and s on r.cols[i] = s.cols[i],
+// emitting r's tuple concatenated with s's tuple, as a new relation.
+// Cost: one retrieval per r tuple plus one per matching s tuple.
+func (r *Relation) Join(name string, rCols []int, s *Relation, sCols []int) *Relation {
+	if len(rCols) != len(sCols) {
+		panic("relation: Join column lists differ in length")
+	}
+	out := New(name, r.arity+s.arity, r.meter)
+	vals := make([]Value, len(rCols))
+	r.Scan(func(t Tuple) bool {
+		for i, c := range rCols {
+			vals[i] = t[c]
+		}
+		s.Lookup(sCols, vals, func(u Tuple) bool {
+			j := make(Tuple, 0, len(t)+len(u))
+			j = append(j, t...)
+			j = append(j, u...)
+			out.Insert(j)
+			return true
+		})
+		return true
+	})
+	return out
+}
+
+// SemiJoin returns the tuples of r that have at least one match in s
+// on the given columns. Cost: one retrieval per r tuple plus one per
+// probe that finds a match.
+func (r *Relation) SemiJoin(name string, rCols []int, s *Relation, sCols []int) *Relation {
+	if len(rCols) != len(sCols) {
+		panic("relation: SemiJoin column lists differ in length")
+	}
+	out := New(name, r.arity, r.meter)
+	vals := make([]Value, len(rCols))
+	r.Scan(func(t Tuple) bool {
+		for i, c := range rCols {
+			vals[i] = t[c]
+		}
+		matched := false
+		s.Lookup(sCols, vals, func(Tuple) bool {
+			matched = true
+			return false
+		})
+		if matched {
+			out.Insert(t)
+		}
+		return true
+	})
+	return out
+}
+
+// String summarizes the relation for debugging: name/arity and size.
+func (r *Relation) String() string {
+	return fmt.Sprintf("%s/%d[%d]", r.name, r.arity, len(r.tuples))
+}
+
+func colSpec(cols []int) string {
+	b := make([]byte, 0, 2*len(cols))
+	for _, c := range cols {
+		b = strconv.AppendInt(b, int64(c), 10)
+		b = append(b, ',')
+	}
+	return string(b)
+}
+
+func keyAt(t Tuple, cols []int) string {
+	sub := make(Tuple, len(cols))
+	for i, c := range cols {
+		sub[i] = t[c]
+	}
+	return sub.Key()
+}
+
+func indexIdentity(n int) []int {
+	id := make([]int, n)
+	for i := range id {
+		id[i] = i
+	}
+	return id
+}

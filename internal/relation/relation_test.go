@@ -1,0 +1,334 @@
+package relation
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func pair(a, b string) Tuple { return Tuple{Sym(a), Sym(b)} }
+
+func TestInsertSetSemantics(t *testing.T) {
+	r := New("e", 2, nil)
+	if !r.Insert(pair("a", "b")) {
+		t.Fatal("first insert should be new")
+	}
+	if r.Insert(pair("a", "b")) {
+		t.Fatal("duplicate insert should report false")
+	}
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", r.Len())
+	}
+	if !r.InsertValues(Sym("a"), Sym("c")) {
+		t.Fatal("distinct tuple rejected")
+	}
+}
+
+func TestInsertArityPanic(t *testing.T) {
+	r := New("e", 2, nil)
+	mustPanic(t, "wrong arity insert", func() { r.Insert(Tuple{Sym("a")}) })
+	mustPanic(t, "negative arity", func() { New("x", -1, nil) })
+}
+
+func TestInsertCopiesTuple(t *testing.T) {
+	r := New("e", 1, nil)
+	tup := Tuple{Sym("a")}
+	r.Insert(tup)
+	tup[0] = Sym("b")
+	if got := r.Tuples()[0][0].Name(); got != "a" {
+		t.Fatalf("stored tuple mutated through caller slice: %q", got)
+	}
+}
+
+func TestScanChargesMeterAndStops(t *testing.T) {
+	m := &Meter{}
+	r := New("e", 2, m)
+	r.Insert(pair("a", "b"))
+	r.Insert(pair("a", "c"))
+	r.Insert(pair("b", "c"))
+	seen := 0
+	r.Scan(func(Tuple) bool { seen++; return true })
+	if seen != 3 || m.Retrievals() != 3 {
+		t.Fatalf("seen=%d meter=%d, want 3/3", seen, m.Retrievals())
+	}
+	m.Reset()
+	r.Scan(func(Tuple) bool { return false })
+	if m.Retrievals() != 1 {
+		t.Fatalf("early stop should charge 1, got %d", m.Retrievals())
+	}
+}
+
+func TestLookupUsesIndexAndCharges(t *testing.T) {
+	m := &Meter{}
+	r := New("e", 2, m)
+	r.Insert(pair("a", "b"))
+	r.Insert(pair("a", "c"))
+	r.Insert(pair("b", "c"))
+	m.Reset()
+	var got []string
+	r.Lookup([]int{0}, []Value{Sym("a")}, func(t Tuple) bool {
+		got = append(got, t[1].Name())
+		return true
+	})
+	sort.Strings(got)
+	if len(got) != 2 || got[0] != "b" || got[1] != "c" {
+		t.Fatalf("Lookup(a) = %v", got)
+	}
+	if m.Retrievals() != 2 {
+		t.Fatalf("lookup charged %d, want 2 (only matches)", m.Retrievals())
+	}
+}
+
+func TestLookupSeesInsertsAfterIndexBuilt(t *testing.T) {
+	r := New("e", 2, nil)
+	r.Insert(pair("a", "b"))
+	r.EnsureIndex(1)
+	r.Insert(pair("c", "b"))
+	n := 0
+	r.Lookup([]int{1}, []Value{Sym("b")}, func(Tuple) bool { n++; return true })
+	if n != 2 {
+		t.Fatalf("index missed post-build insert: got %d matches, want 2", n)
+	}
+}
+
+func TestLookupEmptyColsIsScan(t *testing.T) {
+	r := New("e", 2, nil)
+	r.Insert(pair("a", "b"))
+	n := 0
+	r.Lookup(nil, nil, func(Tuple) bool { n++; return true })
+	if n != 1 {
+		t.Fatalf("empty-cols lookup saw %d tuples", n)
+	}
+}
+
+func TestLookupMismatchedArgsPanic(t *testing.T) {
+	r := New("e", 2, nil)
+	mustPanic(t, "cols/vals mismatch", func() {
+		r.Lookup([]int{0}, nil, func(Tuple) bool { return true })
+	})
+	mustPanic(t, "bad index column", func() { r.EnsureIndex(5) })
+}
+
+func TestContains(t *testing.T) {
+	m := &Meter{}
+	r := New("e", 2, m)
+	r.Insert(pair("a", "b"))
+	if !r.Contains(pair("a", "b")) || r.Contains(pair("b", "a")) {
+		t.Fatal("Contains wrong")
+	}
+	if m.Retrievals() != 2 {
+		t.Fatalf("Contains charged %d, want 2", m.Retrievals())
+	}
+}
+
+func TestMatchCount(t *testing.T) {
+	r := New("e", 2, nil)
+	r.Insert(pair("a", "b"))
+	r.Insert(pair("a", "c"))
+	if n := r.MatchCount([]int{0}, []Value{Sym("a")}); n != 2 {
+		t.Fatalf("MatchCount = %d, want 2", n)
+	}
+	if n := r.MatchCount([]int{0}, []Value{Sym("z")}); n != 0 {
+		t.Fatalf("MatchCount(miss) = %d, want 0", n)
+	}
+}
+
+func TestProject(t *testing.T) {
+	r := New("e", 2, nil)
+	r.Insert(pair("a", "b"))
+	r.Insert(pair("a", "c"))
+	p := r.Project("p", 0)
+	if p.Len() != 1 || p.Arity() != 1 {
+		t.Fatalf("Project dedupe failed: %v", p)
+	}
+	swapped := r.Project("s", 1, 0)
+	if !swapped.Tuples()[0].Equal(pair("b", "a")) {
+		t.Fatal("column reorder failed")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	r := New("e", 2, nil)
+	r.Insert(pair("a", "b"))
+	r.Insert(pair("b", "b"))
+	s := r.Select("loops", func(t Tuple) bool { return t[0] == t[1] })
+	if s.Len() != 1 || !s.Tuples()[0].Equal(pair("b", "b")) {
+		t.Fatalf("Select = %v", s.Tuples())
+	}
+}
+
+func TestJoin(t *testing.T) {
+	l := New("l", 2, nil)
+	l.Insert(pair("a", "b"))
+	l.Insert(pair("a", "c"))
+	e := New("e", 2, nil)
+	e.Insert(pair("b", "x"))
+	e.Insert(pair("b", "y"))
+	j := l.Join("j", []int{1}, e, []int{0})
+	if j.Arity() != 4 || j.Len() != 2 {
+		t.Fatalf("Join = %v", j.Tuples())
+	}
+	for _, tup := range j.Tuples() {
+		if tup[1] != tup[2] {
+			t.Fatalf("join columns disagree: %v", tup)
+		}
+	}
+	mustPanic(t, "join col mismatch", func() { l.Join("x", []int{0, 1}, e, []int{0}) })
+}
+
+func TestSemiJoin(t *testing.T) {
+	l := New("l", 2, nil)
+	l.Insert(pair("a", "b"))
+	l.Insert(pair("a", "z"))
+	e := New("e", 1, nil)
+	e.Insert(Tuple{Sym("b")})
+	s := l.SemiJoin("s", []int{1}, e, []int{0})
+	if s.Len() != 1 || !s.Tuples()[0].Equal(pair("a", "b")) {
+		t.Fatalf("SemiJoin = %v", s.Tuples())
+	}
+}
+
+func TestDifference(t *testing.T) {
+	a := New("a", 1, nil)
+	b := New("b", 1, nil)
+	for _, s := range []string{"x", "y", "z"} {
+		a.Insert(Tuple{Sym(s)})
+	}
+	b.Insert(Tuple{Sym("y")})
+	d := a.Difference("d", b)
+	if d.Len() != 2 {
+		t.Fatalf("Difference = %v", d.Tuples())
+	}
+	if d.Contains(Tuple{Sym("y")}) {
+		t.Fatal("difference kept removed tuple")
+	}
+}
+
+func TestInsertAllAndClone(t *testing.T) {
+	a := New("a", 1, nil)
+	a.Insert(Tuple{Sym("x")})
+	b := a.Clone()
+	b.Insert(Tuple{Sym("y")})
+	if a.Len() != 1 || b.Len() != 2 {
+		t.Fatal("Clone shares storage")
+	}
+	c := New("c", 1, nil)
+	c.Insert(Tuple{Sym("x")})
+	if added := c.InsertAll(b); added != 1 {
+		t.Fatalf("InsertAll added %d, want 1", added)
+	}
+	mustPanic(t, "InsertAll arity", func() { c.InsertAll(New("d", 2, nil)) })
+}
+
+func TestSortedTuplesDeterministic(t *testing.T) {
+	r := New("e", 1, nil)
+	for _, s := range []string{"c", "a", "b"} {
+		r.Insert(Tuple{Sym(s)})
+	}
+	got := r.SortedTuples()
+	want := []string{"a", "b", "c"}
+	for i, tup := range got {
+		if tup[0].Name() != want[i] {
+			t.Fatalf("SortedTuples[%d] = %v", i, tup)
+		}
+	}
+}
+
+// Property: Lookup returns exactly the tuples a full filtered scan
+// would, on random binary relations over a small domain.
+func TestLookupMatchesFilteredScanProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := New("e", 2, nil)
+		dom := []string{"a", "b", "c", "d"}
+		for i := 0; i < 30; i++ {
+			r.Insert(pair(dom[rng.Intn(4)], dom[rng.Intn(4)]))
+		}
+		key := Sym(dom[rng.Intn(4)])
+		col := rng.Intn(2)
+		want := map[string]bool{}
+		r.Scan(func(t Tuple) bool {
+			if t[col] == key {
+				want[t.Key()] = true
+			}
+			return true
+		})
+		got := map[string]bool{}
+		r.Lookup([]int{col}, []Value{key}, func(t Tuple) bool {
+			got[t.Key()] = true
+			return true
+		})
+		if len(got) != len(want) {
+			return false
+		}
+		for k := range want {
+			if !got[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStoreRelationCreationAndArityCheck(t *testing.T) {
+	s := NewStore()
+	r := s.Relation("e", 2)
+	if r2 := s.Relation("e", 2); r2 != r {
+		t.Fatal("Relation should return the same instance")
+	}
+	mustPanic(t, "arity conflict", func() { s.Relation("e", 3) })
+	if !s.Has("e") || s.Has("q") {
+		t.Fatal("Has wrong")
+	}
+	if _, ok := s.Lookup("e"); !ok {
+		t.Fatal("Lookup failed")
+	}
+	s.Drop("e")
+	if s.Has("e") {
+		t.Fatal("Drop failed")
+	}
+}
+
+func TestStoreSharedMeter(t *testing.T) {
+	s := NewStore()
+	a := s.Relation("a", 1)
+	b := s.Relation("b", 1)
+	a.Insert(Tuple{Sym("x")})
+	b.Insert(Tuple{Sym("y")})
+	a.Scan(func(Tuple) bool { return true })
+	b.Scan(func(Tuple) bool { return true })
+	if s.Meter().Retrievals() != 2 {
+		t.Fatalf("store meter = %d, want 2", s.Meter().Retrievals())
+	}
+}
+
+func TestStoreNamesSortedAndTotals(t *testing.T) {
+	s := NewStore()
+	s.Relation("z", 1).Insert(Tuple{Sym("1")})
+	s.Relation("a", 1).Insert(Tuple{Sym("1")})
+	s.Relation("a", 1).Insert(Tuple{Sym("2")})
+	names := s.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "z" {
+		t.Fatalf("Names = %v", names)
+	}
+	if s.TotalTuples() != 3 {
+		t.Fatalf("TotalTuples = %d", s.TotalTuples())
+	}
+}
+
+func TestStoreClone(t *testing.T) {
+	s := NewStore()
+	s.Relation("e", 1).Insert(Tuple{Sym("x")})
+	c := s.Clone()
+	c.Relation("e", 1).Insert(Tuple{Sym("y")})
+	if s.Relation("e", 1).Len() != 1 || c.Relation("e", 1).Len() != 2 {
+		t.Fatal("Clone shares relations")
+	}
+	if c.Meter() == s.Meter() {
+		t.Fatal("Clone shares meter")
+	}
+}

@@ -1,0 +1,84 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Store is a named collection of relations — the database a Datalog
+// evaluation runs against. All relations created through a Store share
+// its Meter.
+type Store struct {
+	meter     *Meter
+	relations map[string]*Relation
+}
+
+// NewStore creates an empty store with a fresh meter.
+func NewStore() *Store {
+	return &Store{meter: &Meter{}, relations: make(map[string]*Relation)}
+}
+
+// Meter returns the store-wide cost meter.
+func (s *Store) Meter() *Meter { return s.meter }
+
+// Relation returns the relation for pred, creating an empty one of the
+// given arity on first use. It panics if pred exists with a different
+// arity: Datalog predicates have a single arity.
+func (s *Store) Relation(pred string, arity int) *Relation {
+	r, ok := s.relations[pred]
+	if !ok {
+		r = New(pred, arity, s.meter)
+		s.relations[pred] = r
+		return r
+	}
+	if r.Arity() != arity {
+		panic(fmt.Sprintf("relation: predicate %s used with arity %d and %d", pred, r.Arity(), arity))
+	}
+	return r
+}
+
+// Lookup returns the relation for pred if present.
+func (s *Store) Lookup(pred string) (*Relation, bool) {
+	r, ok := s.relations[pred]
+	return r, ok
+}
+
+// Has reports whether pred exists in the store.
+func (s *Store) Has(pred string) bool {
+	_, ok := s.relations[pred]
+	return ok
+}
+
+// Drop removes pred from the store, if present.
+func (s *Store) Drop(pred string) { delete(s.relations, pred) }
+
+// Names returns the predicate names in sorted order.
+func (s *Store) Names() []string {
+	names := make([]string, 0, len(s.relations))
+	for n := range s.relations {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Clone deep-copies the store. The clone gets its own meter.
+func (s *Store) Clone() *Store {
+	c := NewStore()
+	for name, r := range s.relations {
+		cr := c.Relation(name, r.Arity())
+		for _, t := range r.Tuples() {
+			cr.Insert(t)
+		}
+	}
+	return c
+}
+
+// TotalTuples returns the number of tuples across all relations.
+func (s *Store) TotalTuples() int {
+	n := 0
+	for _, r := range s.relations {
+		n += r.Len()
+	}
+	return n
+}

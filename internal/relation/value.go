@@ -1,0 +1,187 @@
+// Package relation implements the in-memory relational storage layer
+// used by the deductive-database engine: typed constants, tuples,
+// hash-indexed relations with set semantics, and the relational
+// operators (selection, projection, join, semijoin, union, difference)
+// needed for bottom-up Datalog evaluation.
+//
+// Every access path is metered: a Meter counts tuple retrievals, the
+// cost unit under which Saccà and Zaniolo's "Magic Counting Methods"
+// (SIGMOD 1987) states all of its complexity results ("the basic cost
+// unit is the cost of retrieving a tuple in a database relation").
+package relation
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Kind discriminates the constant types storable in a tuple field.
+type Kind uint8
+
+const (
+	// KindSym is an uninterpreted symbolic constant (a Datalog atom
+	// such as john or arc_17).
+	KindSym Kind = iota
+	// KindInt is a 64-bit signed integer constant, used for counting
+	// indices and arithmetic builtins.
+	KindInt
+)
+
+// Value is a single constant: a symbol or an integer. The zero Value
+// is the empty symbol. Values are comparable and can key maps.
+type Value struct {
+	kind Kind
+	num  int64
+	sym  string
+}
+
+// Sym returns the symbolic constant named s.
+func Sym(s string) Value { return Value{kind: KindSym, sym: s} }
+
+// Int returns the integer constant n.
+func Int(n int64) Value { return Value{kind: KindInt, num: n} }
+
+// Kind reports which constant type v holds.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsInt reports whether v is an integer constant.
+func (v Value) IsInt() bool { return v.kind == KindInt }
+
+// Num returns the integer held by v. It panics if v is not an integer;
+// use IsInt to test first.
+func (v Value) Num() int64 {
+	if v.kind != KindInt {
+		panic("relation: Num on non-integer value " + v.String())
+	}
+	return v.num
+}
+
+// Name returns the symbol held by v. It panics if v is not a symbol.
+func (v Value) Name() string {
+	if v.kind != KindSym {
+		panic("relation: Name on non-symbol value " + v.String())
+	}
+	return v.sym
+}
+
+// String renders v the way the Datalog parser would read it back.
+func (v Value) String() string {
+	if v.kind == KindInt {
+		return strconv.FormatInt(v.num, 10)
+	}
+	return v.sym
+}
+
+// Less orders values: integers before symbols, then by value. It gives
+// relations a deterministic iteration order for tests and reports.
+func (v Value) Less(w Value) bool {
+	if v.kind != w.kind {
+		return v.kind == KindInt
+	}
+	if v.kind == KindInt {
+		return v.num < w.num
+	}
+	return v.sym < w.sym
+}
+
+// Tuple is an ordered list of constants. Tuples in a relation all
+// share the relation's arity.
+type Tuple []Value
+
+// Key encodes t as a string usable as a map key. The encoding is
+// injective: each field is length-prefixed.
+func (t Tuple) Key() string {
+	b := make([]byte, 0, 8*len(t))
+	for _, v := range t {
+		if v.kind == KindInt {
+			b = append(b, 'i')
+			b = strconv.AppendInt(b, v.num, 10)
+		} else {
+			b = append(b, 's')
+			b = strconv.AppendInt(b, int64(len(v.sym)), 10)
+			b = append(b, ':')
+			b = append(b, v.sym...)
+		}
+		b = append(b, '|')
+	}
+	return string(b)
+}
+
+// Equal reports whether t and u have the same fields.
+func (t Tuple) Equal(u Tuple) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		if t[i] != u[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Less orders tuples field by field; shorter tuples sort first.
+func (t Tuple) Less(u Tuple) bool {
+	for i := 0; i < len(t) && i < len(u); i++ {
+		if t[i] != u[i] {
+			return t[i].Less(u[i])
+		}
+	}
+	return len(t) < len(u)
+}
+
+// Clone returns a copy of t that does not share backing storage.
+func (t Tuple) Clone() Tuple {
+	u := make(Tuple, len(t))
+	copy(u, t)
+	return u
+}
+
+// String renders t as a parenthesized list: (a, 3, b).
+func (t Tuple) String() string {
+	b := make([]byte, 0, 16)
+	b = append(b, '(')
+	for i, v := range t {
+		if i > 0 {
+			b = append(b, ',', ' ')
+		}
+		b = append(b, v.String()...)
+	}
+	b = append(b, ')')
+	return string(b)
+}
+
+// Meter accumulates tuple-retrieval counts. A single Meter is shared
+// by all relations participating in one query evaluation, so the total
+// reflects the whole method, mirroring the paper's cost model.
+type Meter struct {
+	retrievals int64
+}
+
+// Add charges n tuple retrievals. A nil Meter is a no-op, so unmetered
+// relations cost nothing to use.
+func (m *Meter) Add(n int64) {
+	if m != nil {
+		m.retrievals += n
+	}
+}
+
+// Retrievals returns the tuples retrieved so far. A nil Meter reads 0.
+func (m *Meter) Retrievals() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.retrievals
+}
+
+// Reset zeroes the counter.
+func (m *Meter) Reset() {
+	if m != nil {
+		m.retrievals = 0
+	}
+}
+
+// String formats the meter for reports.
+func (m *Meter) String() string {
+	return fmt.Sprintf("%d tuple retrievals", m.Retrievals())
+}

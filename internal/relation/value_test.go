@@ -1,0 +1,170 @@
+package relation
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	v := Sym("john")
+	if v.Kind() != KindSym || v.Name() != "john" || v.IsInt() {
+		t.Fatalf("Sym accessor mismatch: %#v", v)
+	}
+	n := Int(-7)
+	if n.Kind() != KindInt || n.Num() != -7 || !n.IsInt() {
+		t.Fatalf("Int accessor mismatch: %#v", n)
+	}
+}
+
+func TestValueAccessorPanics(t *testing.T) {
+	mustPanic(t, "Num on symbol", func() { Sym("x").Num() })
+	mustPanic(t, "Name on int", func() { Int(1).Name() })
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Sym("abc"), "abc"},
+		{Int(42), "42"},
+		{Int(-3), "-3"},
+		{Sym(""), ""},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String(%#v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestValueLessTotalOrderSamples(t *testing.T) {
+	// ints before syms, then by value
+	ordered := []Value{Int(-5), Int(0), Int(9), Sym(""), Sym("a"), Sym("b")}
+	for i := range ordered {
+		for j := range ordered {
+			got := ordered[i].Less(ordered[j])
+			want := i < j
+			if got != want {
+				t.Errorf("Less(%v, %v) = %v, want %v", ordered[i], ordered[j], got, want)
+			}
+		}
+	}
+}
+
+func TestValueEqualityAsMapKey(t *testing.T) {
+	m := map[Value]int{Sym("a"): 1, Int(1): 2}
+	if m[Sym("a")] != 1 || m[Int(1)] != 2 {
+		t.Fatal("Value not usable as map key")
+	}
+	if _, ok := m[Sym("1")]; ok {
+		t.Fatal("Sym(\"1\") should differ from Int(1)")
+	}
+}
+
+func TestTupleKeyInjective(t *testing.T) {
+	// Pairs that a naive separator-free encoding would confuse.
+	pairs := [][2]Tuple{
+		{Tuple{Sym("ab"), Sym("c")}, Tuple{Sym("a"), Sym("bc")}},
+		{Tuple{Sym("a|b")}, Tuple{Sym("a"), Sym("b")}},
+		{Tuple{Int(12), Int(3)}, Tuple{Int(1), Int(23)}},
+		{Tuple{Sym("1")}, Tuple{Int(1)}},
+		{Tuple{Sym("")}, Tuple{}},
+		{Tuple{Sym("s1:x")}, Tuple{Sym("x")}},
+	}
+	for _, p := range pairs {
+		if p[0].Key() == p[1].Key() {
+			t.Errorf("Key collision: %v and %v both encode to %q", p[0], p[1], p[0].Key())
+		}
+	}
+}
+
+func TestTupleKeyInjectiveProperty(t *testing.T) {
+	f := func(a, b []int16, s1, s2 string) bool {
+		t1 := make(Tuple, 0, len(a)+1)
+		for _, n := range a {
+			t1 = append(t1, Int(int64(n)))
+		}
+		t1 = append(t1, Sym(s1))
+		t2 := make(Tuple, 0, len(b)+1)
+		for _, n := range b {
+			t2 = append(t2, Int(int64(n)))
+		}
+		t2 = append(t2, Sym(s2))
+		if t1.Equal(t2) {
+			return t1.Key() == t2.Key()
+		}
+		return t1.Key() != t2.Key()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTupleEqualCloneString(t *testing.T) {
+	a := Tuple{Sym("x"), Int(3)}
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Fatal("clone not equal to original")
+	}
+	b[0] = Sym("y")
+	if a.Equal(b) {
+		t.Fatal("clone shares storage with original")
+	}
+	if a.Equal(Tuple{Sym("x")}) {
+		t.Fatal("tuples of different length compared equal")
+	}
+	if got := a.String(); got != "(x, 3)" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestTupleLess(t *testing.T) {
+	a := Tuple{Int(1), Sym("a")}
+	b := Tuple{Int(1), Sym("b")}
+	c := Tuple{Int(1)}
+	if !a.Less(b) || b.Less(a) {
+		t.Error("field ordering wrong")
+	}
+	if !c.Less(a) || a.Less(c) {
+		t.Error("prefix tuple should sort first")
+	}
+	if a.Less(a) {
+		t.Error("tuple less than itself")
+	}
+}
+
+func TestMeterNilSafety(t *testing.T) {
+	var m *Meter
+	m.Add(5)
+	if m.Retrievals() != 0 {
+		t.Fatal("nil meter should read 0")
+	}
+	m.Reset() // must not panic
+}
+
+func TestMeterAccumulatesAndResets(t *testing.T) {
+	m := &Meter{}
+	m.Add(3)
+	m.Add(4)
+	if m.Retrievals() != 7 {
+		t.Fatalf("Retrievals = %d, want 7", m.Retrievals())
+	}
+	if m.String() != "7 tuple retrievals" {
+		t.Fatalf("String = %q", m.String())
+	}
+	m.Reset()
+	if m.Retrievals() != 0 {
+		t.Fatal("Reset did not zero the meter")
+	}
+}
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	fn()
+}

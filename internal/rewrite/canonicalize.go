@@ -1,0 +1,223 @@
+package rewrite
+
+import (
+	"fmt"
+
+	"magiccounting/internal/datalog"
+)
+
+// Canonicalize transforms a query in the broader canonical strongly
+// linear class ([SZ1]) into the strict L/P/R shape Recognize accepts,
+// emitting auxiliary rules that materialize the composed relations:
+//
+//   - conjunctive links become derived predicates, e.g.
+//     sg(X, Y) :- par(X, P), par(P, X1), sg(X1, Y1), par(Y, Q), par(Q, Y1).
+//     gains up__sg(X, X1) :- par(X, P), par(P, X1)  (and down__sg alike);
+//
+//   - a right-linear rule p(X, Y) :- l(X, X1), p(X1, Y) (the
+//     transitive-closure shape) gets the identity down relation over
+//     the exit targets;
+//
+//   - a left-linear rule p(X, Y) :- p(X, Y1), r(Y, Y1) gets the
+//     identity up relation over the query constant.
+//
+// The returned program contains the original facts, the auxiliary
+// rules, and the rewritten recursive rule; the goal is unchanged. If
+// the program is already in strict shape it is returned as is. The
+// transformation fails on programs outside the class (nonlinear
+// recursion, links sharing variables across the X and Y sides, ...).
+func Canonicalize(p *datalog.Program, goal datalog.Atom) (*datalog.Program, datalog.Atom, error) {
+	if _, err := Recognize(p, goal); err == nil {
+		return p, goal, nil
+	}
+	exit, rec, err := splitRules(p, goal)
+	if err != nil {
+		return nil, datalog.Atom{}, err
+	}
+	if len(rec.Head.Args) != 2 || !rec.Head.Args[0].IsVar() || !rec.Head.Args[1].IsVar() {
+		return nil, datalog.Atom{}, fmt.Errorf("rewrite: recursive head %s must be binary over variables", rec.Head)
+	}
+	headX, headY := rec.Head.Args[0].Var, rec.Head.Args[1].Var
+	if headX == headY {
+		return nil, datalog.Atom{}, fmt.Errorf("rewrite: recursive head repeats a variable")
+	}
+	var recAtom datalog.Atom
+	var rest []datalog.Literal
+	for _, l := range rec.Body {
+		if !l.Negated && l.Atom.Pred == goal.Pred {
+			recAtom = l.Atom
+		} else {
+			rest = append(rest, l)
+		}
+	}
+	if len(recAtom.Args) != 2 || !recAtom.Args[0].IsVar() || !recAtom.Args[1].IsVar() {
+		return nil, datalog.Atom{}, fmt.Errorf("rewrite: recursive call %s must be binary over variables", recAtom)
+	}
+	recX1, recY1 := recAtom.Args[0].Var, recAtom.Args[1].Var
+
+	// Partition the remaining literals into the X side (connecting
+	// headX to recX1) and the Y side (headY to recY1) by variable
+	// connectivity.
+	xSide, ySide, err := partitionSides(rest, headX, headY, recX1, recY1)
+	if err != nil {
+		return nil, datalog.Atom{}, err
+	}
+
+	out := &datalog.Program{Facts: append([]datalog.Atom(nil), p.Facts...)}
+	copyNonRecursiveRules(out, p, goal.Pred)
+	out.AddRule(exit)
+	upPred := "up__" + goal.Pred
+	downPred := "down__" + goal.Pred
+
+	// X side: a conjunct, or the identity when the rule is
+	// left-linear (X passes through unchanged).
+	switch {
+	case headX == recX1:
+		if len(xSide) > 0 {
+			return nil, datalog.Atom{}, fmt.Errorf("rewrite: left-linear rule must not constrain X further")
+		}
+		// The magic graph is the single query constant.
+		out.AddFact(datalog.NewAtom(upPred, goal.Args[0], goal.Args[0]))
+	case len(xSide) == 0:
+		return nil, datalog.Atom{}, fmt.Errorf("rewrite: no literals connect %s to %s", headX, recX1)
+	default:
+		up := datalog.Rule{Head: datalog.NewAtom(upPred, datalog.V(headX), datalog.V(recX1))}
+		up.Body = xSide
+		out.AddRule(up)
+	}
+
+	// Y side: a conjunct, or the identity over exit targets when the
+	// rule is right-linear (Y passes through unchanged).
+	switch {
+	case headY == recY1:
+		if len(ySide) > 0 {
+			return nil, datalog.Atom{}, fmt.Errorf("rewrite: right-linear rule must not constrain Y further")
+		}
+		// Identity over every value the exit rule can produce: the
+		// descent then carries answers through unchanged.
+		idRule := datalog.Rule{Head: datalog.NewAtom(downPred, exit.Head.Args[1], exit.Head.Args[1])}
+		idRule.Body = append(idRule.Body, exit.Body...)
+		out.AddRule(idRule)
+	case len(ySide) == 0:
+		return nil, datalog.Atom{}, fmt.Errorf("rewrite: no literals connect %s to %s", headY, recY1)
+	default:
+		down := datalog.Rule{Head: datalog.NewAtom(downPred, datalog.V(headY), datalog.V(recY1))}
+		down.Body = ySide
+		out.AddRule(down)
+	}
+
+	// For left/right-linear rules the call variable equals the head
+	// variable; rename it apart and let the identity link relation
+	// carry the value, restoring the strict shape.
+	callX, callY := recX1, recY1
+	if headX == recX1 {
+		callX = recX1 + "__id"
+	}
+	if headY == recY1 {
+		callY = recY1 + "__id"
+	}
+	newRec := datalog.NewRule(rec.Head,
+		datalog.NewAtom(upPred, datalog.V(headX), datalog.V(callX)),
+		datalog.NewAtom(goal.Pred, datalog.V(callX), datalog.V(callY)),
+		datalog.NewAtom(downPred, datalog.V(headY), datalog.V(callY)),
+	)
+	out.AddRule(newRec)
+	if _, err := Recognize(out, goal); err != nil {
+		return nil, datalog.Atom{}, fmt.Errorf("rewrite: canonicalization failed to reach strict shape: %w", err)
+	}
+	return out, goal, nil
+}
+
+// splitRules finds the single exit rule and single linear recursive
+// rule for the goal predicate.
+func splitRules(p *datalog.Program, goal datalog.Atom) (exit, rec datalog.Rule, err error) {
+	var exits, recs []datalog.Rule
+	for _, r := range p.Rules {
+		if r.Head.Pred != goal.Pred {
+			for _, l := range r.Body {
+				if l.Atom.Pred == goal.Pred {
+					return exit, rec, fmt.Errorf("rewrite: %s is used outside its own recursion", goal.Pred)
+				}
+			}
+			continue
+		}
+		n := 0
+		for _, l := range r.Body {
+			if l.Atom.Pred == goal.Pred {
+				if l.Negated {
+					return exit, rec, fmt.Errorf("rewrite: negated recursion in %s", r)
+				}
+				n++
+			}
+		}
+		switch n {
+		case 0:
+			exits = append(exits, r)
+		case 1:
+			recs = append(recs, r)
+		default:
+			return exit, rec, fmt.Errorf("rewrite: rule %s is not linear", r)
+		}
+	}
+	if len(exits) != 1 || len(recs) != 1 {
+		return exit, rec, fmt.Errorf("rewrite: %s needs exactly one exit and one linear recursive rule, found %d/%d",
+			goal.Pred, len(exits), len(recs))
+	}
+	return exits[0], recs[0], nil
+}
+
+// partitionSides splits literals into the X-side and Y-side conjuncts
+// by variable connectivity, rejecting literals that connect the two
+// sides or float free of both.
+func partitionSides(lits []datalog.Literal, headX, headY, recX1, recY1 string) (xSide, ySide []datalog.Literal, err error) {
+	// Union-find over variable names.
+	parent := map[string]string{}
+	var find func(string) string
+	find = func(v string) string {
+		if parent[v] == "" || parent[v] == v {
+			parent[v] = v
+			return v
+		}
+		r := find(parent[v])
+		parent[v] = r
+		return r
+	}
+	union := func(a, b string) { parent[find(a)] = find(b) }
+	for _, l := range lits {
+		vars := l.Atom.Vars(nil)
+		for i := 1; i < len(vars); i++ {
+			union(vars[0], vars[i])
+		}
+	}
+	// The head and link variables anchor the two sides. If the rule
+	// is left/right-linear the corresponding side has no literals.
+	xRoot, yRoot := find(headX), find(headY)
+	if headX != recX1 {
+		if find(recX1) != xRoot {
+			return nil, nil, fmt.Errorf("rewrite: %s and %s are not connected by the rule body", headX, recX1)
+		}
+	}
+	if headY != recY1 {
+		if find(recY1) != yRoot {
+			return nil, nil, fmt.Errorf("rewrite: %s and %s are not connected by the rule body", headY, recY1)
+		}
+	}
+	if xRoot == yRoot {
+		return nil, nil, fmt.Errorf("rewrite: the X and Y sides of the rule share variables")
+	}
+	for _, l := range lits {
+		vars := l.Atom.Vars(nil)
+		if len(vars) == 0 {
+			return nil, nil, fmt.Errorf("rewrite: ground literal %s belongs to neither side", l)
+		}
+		switch find(vars[0]) {
+		case xRoot:
+			xSide = append(xSide, l)
+		case yRoot:
+			ySide = append(ySide, l)
+		default:
+			return nil, nil, fmt.Errorf("rewrite: literal %s is disconnected from both sides", l)
+		}
+	}
+	return xSide, ySide, nil
+}

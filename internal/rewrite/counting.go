@@ -1,0 +1,208 @@
+package rewrite
+
+import (
+	"fmt"
+
+	"magiccounting/internal/datalog"
+)
+
+// CanonicalQuery is the recognized canonical strongly linear shape:
+//
+//	?- P(a, Y).
+//	P(X, Y) :- <exit body over X, Y>.
+//	P(X, Y) :- L(X, X1), P(X1, Y1), R(Y, Y1).
+//
+// Up and Down are the L and R literals of the recursive rule; Exit is
+// the exit rule's body.
+type CanonicalQuery struct {
+	Pred     string
+	Goal     datalog.Atom
+	Exit     datalog.Rule
+	Up, Down datalog.Atom
+	// HeadX, HeadY, RecX1, RecY1 are the variable names playing the
+	// X, Y, X1, Y1 roles of the recursive rule.
+	HeadX, HeadY, RecX1, RecY1 string
+}
+
+// Recognize matches p and goal against the canonical strongly linear
+// shape. It returns an error describing the first mismatch; the
+// counting and magic counting rewrites are defined only for this
+// class (the paper defers the general case to future work).
+func Recognize(p *datalog.Program, goal datalog.Atom) (*CanonicalQuery, error) {
+	if len(goal.Args) != 2 {
+		return nil, fmt.Errorf("rewrite: goal %s must be binary", goal)
+	}
+	if goal.Args[0].IsVar() || !goal.Args[1].IsVar() {
+		return nil, fmt.Errorf("rewrite: goal %s must bind its first argument only", goal)
+	}
+	pred := goal.Pred
+	var exitRules, recRules []datalog.Rule
+	for _, r := range p.Rules {
+		if r.Head.Pred != pred {
+			// Other predicates must not depend on pred (strict
+			// canonical form keeps the recursion self-contained).
+			for _, l := range r.Body {
+				if l.Atom.Pred == pred {
+					return nil, fmt.Errorf("rewrite: %s is used outside its own recursion", pred)
+				}
+			}
+			continue
+		}
+		occurrences := 0
+		for _, l := range r.Body {
+			if l.Atom.Pred == pred {
+				if l.Negated {
+					return nil, fmt.Errorf("rewrite: negated recursion in %s", r)
+				}
+				occurrences++
+			}
+		}
+		switch occurrences {
+		case 0:
+			exitRules = append(exitRules, r)
+		case 1:
+			recRules = append(recRules, r)
+		default:
+			return nil, fmt.Errorf("rewrite: rule %s is not linear", r)
+		}
+	}
+	if len(exitRules) != 1 || len(recRules) != 1 {
+		return nil, fmt.Errorf("rewrite: %s needs exactly one exit and one linear recursive rule, found %d/%d",
+			pred, len(exitRules), len(recRules))
+	}
+	exit, rec := exitRules[0], recRules[0]
+	if len(exit.Head.Args) != 2 || len(rec.Head.Args) != 2 {
+		return nil, fmt.Errorf("rewrite: %s must be binary", pred)
+	}
+	if !rec.Head.Args[0].IsVar() || !rec.Head.Args[1].IsVar() {
+		return nil, fmt.Errorf("rewrite: recursive head %s must have variable arguments", rec.Head)
+	}
+	cq := &CanonicalQuery{
+		Pred:  pred,
+		Goal:  goal,
+		Exit:  exit,
+		HeadX: rec.Head.Args[0].Var,
+		HeadY: rec.Head.Args[1].Var,
+	}
+	if cq.HeadX == cq.HeadY {
+		return nil, fmt.Errorf("rewrite: recursive head %s repeats a variable", rec.Head)
+	}
+	// Find the three body atoms and their roles.
+	var recAtom datalog.Atom
+	var others []datalog.Atom
+	for _, l := range rec.Body {
+		if l.Negated || l.Atom.IsBuiltin() {
+			return nil, fmt.Errorf("rewrite: canonical recursive rule cannot contain %s", l)
+		}
+		if l.Atom.Pred == pred {
+			recAtom = l.Atom
+		} else {
+			others = append(others, l.Atom)
+		}
+	}
+	if len(others) != 2 {
+		return nil, fmt.Errorf("rewrite: recursive rule must have exactly the L, P, R literals, found %d extras", len(others))
+	}
+	if len(recAtom.Args) != 2 || !recAtom.Args[0].IsVar() || !recAtom.Args[1].IsVar() {
+		return nil, fmt.Errorf("rewrite: recursive call %s must have two variables", recAtom)
+	}
+	cq.RecX1 = recAtom.Args[0].Var
+	cq.RecY1 = recAtom.Args[1].Var
+	if cq.RecX1 == cq.RecY1 {
+		return nil, fmt.Errorf("rewrite: recursive call %s repeats a variable", recAtom)
+	}
+	// The up atom connects HeadX to RecX1; the down atom connects
+	// HeadY to RecY1, in either order in the body.
+	for _, a := range others {
+		switch {
+		case isLink(a, cq.HeadX, cq.RecX1):
+			cq.Up = a
+		case isLink(a, cq.HeadY, cq.RecY1):
+			cq.Down = a
+		default:
+			return nil, fmt.Errorf("rewrite: literal %s links neither X to X1 nor Y to Y1", a)
+		}
+	}
+	if cq.Up.Pred == "" || cq.Down.Pred == "" {
+		return nil, fmt.Errorf("rewrite: recursive rule lacks an up or down literal")
+	}
+	return cq, nil
+}
+
+// isLink reports whether a is a binary atom over exactly the two
+// given variables, in order (v1 first): the canonical L(X, X1) /
+// R(Y, Y1) orientation.
+func isLink(a datalog.Atom, v1, v2 string) bool {
+	return len(a.Args) == 2 &&
+		a.Args[0].IsVar() && a.Args[0].Var == v1 &&
+		a.Args[1].IsVar() && a.Args[1].Var == v2
+}
+
+// Counting rewrites a canonical query into the counting program Q_C
+// of §2:
+//
+//	cs_p(0, a).
+//	cs_p(J1, X1) :- cs_p(J, X), L(X, X1), J1 is J + 1.
+//	pc_p(J, Y)   :- cs_p(J, X), <exit body>.
+//	pc_p(J1, Y)  :- pc_p(J, Y1), R(Y, Y1), J1 is J - 1.
+//	answer_p(Y)  :- pc_p(0, Y).
+//
+// The returned goal is answer_p(Y). The rewritten program diverges on
+// cyclic magic graphs — exactly the paper's unsafe regime — which the
+// engine's iteration guard turns into ErrIterationLimit.
+func Counting(p *datalog.Program, goal datalog.Atom) (*datalog.Program, datalog.Atom, error) {
+	cq, err := Recognize(p, goal)
+	if err != nil {
+		return nil, datalog.Atom{}, err
+	}
+	cs := "cs_" + cq.Pred
+	pc := "pc_" + cq.Pred
+	ans := "answer_" + cq.Pred
+	j, j1 := datalog.V("J#"), datalog.V("J1#")
+	out := &datalog.Program{}
+	out.Facts = append(out.Facts, p.Facts...)
+	copyNonRecursiveRules(out, p, cq.Pred)
+	out.AddFact(datalog.NewAtom(cs, datalog.N(0), cq.Goal.Args[0]))
+	out.AddRule(datalog.NewRule(
+		datalog.NewAtom(cs, j1, datalog.V(cq.RecX1)),
+		datalog.NewAtom(cs, j, datalog.V(cq.HeadX)),
+		cq.Up,
+		datalog.NewAtom(datalog.BuiltinAdd, j, datalog.N(1), j1),
+	))
+	// Exit transfer keeps the exit rule's own body, with its head
+	// variables renamed to the roles X and Y.
+	exitBody := cq.Exit.Body
+	exitX, exitY := cq.Exit.Head.Args[0], cq.Exit.Head.Args[1]
+	transfer := datalog.Rule{Head: datalog.NewAtom(pc, j, termOrVar(exitY))}
+	transfer.Body = append(transfer.Body, datalog.Pos(datalog.NewAtom(cs, j, termOrVar(exitX))))
+	transfer.Body = append(transfer.Body, exitBody...)
+	out.AddRule(transfer)
+	// Descent stops at index 0: without the J >= 1 guard a cyclic
+	// R side would generate ever more negative indices.
+	out.AddRule(datalog.NewRule(
+		datalog.NewAtom(pc, j1, datalog.V(cq.HeadY)),
+		datalog.NewAtom(pc, j, datalog.V(cq.RecY1)),
+		datalog.NewAtom(datalog.BuiltinGe, j, datalog.N(1)),
+		cq.Down,
+		datalog.NewAtom(datalog.BuiltinAdd, j1, datalog.N(1), j),
+	))
+	out.AddRule(datalog.NewRule(
+		datalog.NewAtom(ans, datalog.V("Y#")),
+		datalog.NewAtom(pc, datalog.N(0), datalog.V("Y#")),
+	))
+	return out, datalog.NewAtom(ans, datalog.V("Y#")), nil
+}
+
+// termOrVar passes a term through (it may be a variable of the exit
+// rule or a constant such as the same-generation identity).
+func termOrVar(t datalog.Term) datalog.Term { return t }
+
+// copyNonRecursiveRules copies every rule not defining pred, so exit
+// bodies over derived predicates keep working after the rewrite.
+func copyNonRecursiveRules(dst, src *datalog.Program, pred string) {
+	for _, r := range src.Rules {
+		if r.Head.Pred != pred {
+			dst.AddRule(r)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package rewrite
+
+import (
+	"fmt"
+
+	"magiccounting/internal/core"
+	"magiccounting/internal/datalog"
+	"magiccounting/internal/engine"
+	"magiccounting/internal/relation"
+)
+
+// ExtractQuery converts a canonical Datalog program plus goal into a
+// core.Query, so the specialized solvers can run side by side with
+// the generic engine. Programs in the broader canonical strongly
+// linear class are first normalized with Canonicalize (conjunctive
+// links, left/right-linear rules). The L and R relations are then
+// taken from the program's facts (and any rules defining them); the
+// E relation is the materialization of the exit rule's body projected
+// onto the head arguments, which also covers non-atomic exits such as
+// the same-generation identity `sg(X, X) :- person(X)`.
+func ExtractQuery(p *datalog.Program, goal datalog.Atom) (core.Query, *CanonicalQuery, error) {
+	p, goal, err := Canonicalize(p, goal)
+	if err != nil {
+		return core.Query{}, nil, err
+	}
+	cq, err := Recognize(p, goal)
+	if err != nil {
+		return core.Query{}, nil, err
+	}
+	// Materialize the base relations (they may themselves be derived
+	// by non-recursive rules).
+	store := relation.NewStore()
+	base := &datalog.Program{Facts: p.Facts}
+	copyNonRecursiveRules(base, p, cq.Pred)
+	// Project the exit body onto (X, Y).
+	exitX, exitY := cq.Exit.Head.Args[0], cq.Exit.Head.Args[1]
+	exitPred := "exit#" + cq.Pred
+	exitRule := datalog.Rule{Head: datalog.NewAtom(exitPred, exitX, exitY)}
+	exitRule.Body = append(exitRule.Body, cq.Exit.Body...)
+	base.AddRule(exitRule)
+	if _, err := engine.Eval(base, store, engine.Options{}); err != nil {
+		return core.Query{}, nil, fmt.Errorf("rewrite: materializing base relations: %w", err)
+	}
+	q := core.Query{Source: cq.Goal.Args[0].Const.String()}
+	q.L = pairsOf(store, cq.Up.Pred)
+	q.R = pairsOf(store, cq.Down.Pred)
+	q.E = pairsOf(store, exitPred)
+	return q, cq, nil
+}
+
+func pairsOf(store *relation.Store, pred string) []core.Pair {
+	rel, ok := store.Lookup(pred)
+	if !ok {
+		return nil
+	}
+	var out []core.Pair
+	for _, t := range rel.SortedTuples() {
+		out = append(out, core.P(t[0].String(), t[1].String()))
+	}
+	return out
+}
+
+// MCProgram is the end-to-end pipeline for evaluating a canonical
+// query with a magic counting method on the generic engine: extract
+// the core query, run Step 1, emit the §4/§5 rule set, and inject the
+// reduced sets as facts. It returns the ready-to-evaluate program and
+// its goal.
+func MCProgram(p *datalog.Program, goal datalog.Atom, strategy core.Strategy, mode core.Mode) (*datalog.Program, datalog.Atom, error) {
+	q, cq, err := ExtractQuery(p, goal)
+	if err != nil {
+		return nil, datalog.Atom{}, err
+	}
+	preds := DefaultReducedSetPreds(cq.Pred)
+	facts, err := ReducedSetFacts(q, strategy, mode, preds)
+	if err != nil {
+		return nil, datalog.Atom{}, err
+	}
+	var prog *datalog.Program
+	var renamed datalog.Atom
+	if mode == core.Integrated {
+		prog, renamed, err = IntegratedMC(p, goal, preds)
+	} else {
+		prog, renamed, err = IndependentMC(p, goal, preds)
+	}
+	if err != nil {
+		return nil, datalog.Atom{}, err
+	}
+	for _, f := range facts {
+		prog.AddFact(f)
+	}
+	return prog, renamed, nil
+}

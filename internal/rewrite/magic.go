@@ -1,0 +1,113 @@
+// Package rewrite implements the program transformations of the
+// paper: the generalized magic-sets rewrite for adorned Datalog
+// programs, the counting rewrite for canonical strongly linear
+// queries, and the emission of the independent (§4) and integrated
+// (§5) magic counting rule sets as ordinary Datalog — so the generic
+// engine can cross-validate the specialized core solvers rule for
+// rule.
+package rewrite
+
+import (
+	"fmt"
+
+	"magiccounting/internal/datalog"
+)
+
+// MagicPrefix prefixes the magic predicate of an adorned predicate.
+const MagicPrefix = "m_"
+
+// MagicSets rewrites an adorned program with the generalized magic
+// sets transformation:
+//
+//   - every adorned rule p :- B gets a modified version
+//     p :- m_p(bound args), B;
+//   - every positive IDB body literal q in a rule for p yields a magic
+//     rule m_q(its bound args) :- m_p(p's bound args), literals before q;
+//   - the query seeds m_goal with the goal's constants.
+//
+// It returns the rewritten program (rules plus the magic seed fact)
+// and the renamed goal to ask of it.
+func MagicSets(ap *datalog.AdornedProgram) (*datalog.Program, datalog.Atom, error) {
+	idb := make(map[string]bool)
+	for _, r := range ap.Rules {
+		idb[r.Head.Pred] = true
+	}
+	out := &datalog.Program{}
+	for _, r := range ap.Rules {
+		headAd, err := adornmentOf(r.Head.Pred)
+		if err != nil {
+			return nil, datalog.Atom{}, err
+		}
+		magicHead := magicAtom(r.Head, headAd)
+		// Modified rule: gate the original rule with its magic
+		// predicate.
+		modified := datalog.Rule{Head: r.Head}
+		modified.Body = append(modified.Body, datalog.Pos(magicHead))
+		modified.Body = append(modified.Body, r.Body...)
+		out.AddRule(modified)
+		// Magic rules for IDB body literals.
+		for i, l := range r.Body {
+			if l.Negated || l.Atom.IsBuiltin() || !idb[l.Atom.Pred] {
+				continue
+			}
+			bodyAd, err := adornmentOf(l.Atom.Pred)
+			if err != nil {
+				return nil, datalog.Atom{}, err
+			}
+			if bodyAd.AllFree() {
+				// A free call needs no restriction: seed its magic
+				// predicate unconditionally.
+				out.AddFact(datalog.Atom{Pred: MagicPrefix + l.Atom.Pred})
+				continue
+			}
+			mr := datalog.Rule{Head: magicAtom(l.Atom, bodyAd)}
+			mr.Body = append(mr.Body, datalog.Pos(magicHead))
+			mr.Body = append(mr.Body, r.Body[:i]...)
+			out.AddRule(mr)
+		}
+	}
+	// Seed: the query's bound constants.
+	goal := datalog.Atom{Pred: ap.QueryPred, Args: ap.Goal.Args}
+	seed := magicAtom(goal, ap.QueryAdornment)
+	if len(seed.Args) > 0 || ap.QueryAdornment.AllFree() {
+		out.AddFact(seed)
+	}
+	return out, goal, nil
+}
+
+// magicAtom projects an atom onto its bound positions under the given
+// adornment and renames it with the magic prefix.
+func magicAtom(a datalog.Atom, ad datalog.Adornment) datalog.Atom {
+	var args []datalog.Term
+	for _, i := range ad.BoundPositions() {
+		args = append(args, a.Args[i])
+	}
+	return datalog.Atom{Pred: MagicPrefix + a.Pred, Args: args}
+}
+
+// adornmentOf extracts the adornment from an adorned predicate name
+// (the suffix after the final "__").
+func adornmentOf(pred string) (datalog.Adornment, error) {
+	for i := len(pred) - 2; i > 0; i-- {
+		if pred[i] == '_' && pred[i-1] == '_' {
+			return datalog.Adornment(pred[i+1:]), nil
+		}
+	}
+	return "", fmt.Errorf("rewrite: %s is not an adorned predicate name", pred)
+}
+
+// MagicSetsForQuery is the full pipeline: adorn p for the goal, then
+// apply the magic rewrite. The returned program still needs the
+// original program's facts (they are not copied).
+func MagicSetsForQuery(p *datalog.Program, goal datalog.Atom) (*datalog.Program, datalog.Atom, error) {
+	ap, err := datalog.Adorn(p, goal)
+	if err != nil {
+		return nil, datalog.Atom{}, err
+	}
+	rewritten, renamed, err := MagicSets(ap)
+	if err != nil {
+		return nil, datalog.Atom{}, err
+	}
+	rewritten.Facts = append(rewritten.Facts, p.Facts...)
+	return rewritten, renamed, nil
+}

@@ -1,0 +1,151 @@
+package rewrite
+
+import (
+	"magiccounting/internal/core"
+	"magiccounting/internal/datalog"
+)
+
+// ReducedSetPreds names the EDB predicates carrying a Step 1 result
+// into the emitted magic counting programs: rm(X), rc(J, X), ms(X).
+type ReducedSetPreds struct {
+	RM, RC, MS string
+}
+
+// DefaultReducedSetPreds uses rm_p / rc_p / ms_p derived from the
+// recursive predicate's name.
+func DefaultReducedSetPreds(pred string) ReducedSetPreds {
+	return ReducedSetPreds{RM: "rm_" + pred, RC: "rc_" + pred, MS: "ms_" + pred}
+}
+
+// IndependentMC rewrites a canonical query into the §4 independent
+// magic counting program, parameterized by the reduced-set predicates:
+//
+//	pc(J, Y)  :- rc(J, X), <exit body>.
+//	pc(J1, Y) :- pc(J, Y1), J >= 1, R(Y, Y1), J1 is J - 1.
+//	pm(X, Y)  :- rm(X), <exit body>.
+//	pm(X, Y)  :- ms(X), L(X, X1), pm(X1, Y1), R(Y, Y1).
+//	answer(Y) :- pc(0, Y).
+//	answer(Y) :- pm(a, Y).
+func IndependentMC(p *datalog.Program, goal datalog.Atom, preds ReducedSetPreds) (*datalog.Program, datalog.Atom, error) {
+	cq, err := Recognize(p, goal)
+	if err != nil {
+		return nil, datalog.Atom{}, err
+	}
+	out := &datalog.Program{}
+	out.Facts = append(out.Facts, p.Facts...)
+	copyNonRecursiveRules(out, p, cq.Pred)
+	pc := "pc_" + cq.Pred
+	pm := "pm_" + cq.Pred
+	ans := "answer_" + cq.Pred
+	addCountingPart(out, cq, pc, preds.RC)
+	addMagicPart(out, cq, pm, preds.RM, preds.MS)
+	out.AddRule(datalog.NewRule(
+		datalog.NewAtom(ans, datalog.V("Y#")),
+		datalog.NewAtom(pc, datalog.N(0), datalog.V("Y#")),
+	))
+	out.AddRule(datalog.NewRule(
+		datalog.NewAtom(ans, datalog.V("Y#")),
+		datalog.NewAtom(pm, cq.Goal.Args[0], datalog.V("Y#")),
+	))
+	return out, datalog.NewAtom(ans, datalog.V("Y#")), nil
+}
+
+// IntegratedMC rewrites a canonical query into the §5 integrated
+// magic counting program:
+//
+//	pm(X, Y)  :- rm(X), <exit body>.
+//	pm(X, Y)  :- rm(X), L(X, X1), pm(X1, Y1), R(Y, Y1).
+//	pc(J, Y)  :- rc(J, X), L(X, X1), pm(X1, Y1), R(Y, Y1).   (transfer)
+//	pc(J, Y)  :- rc(J, X), <exit body>.
+//	pc(J1, Y) :- pc(J, Y1), J >= 1, R(Y, Y1), J1 is J - 1.
+//	answer(Y) :- pc(0, Y).
+func IntegratedMC(p *datalog.Program, goal datalog.Atom, preds ReducedSetPreds) (*datalog.Program, datalog.Atom, error) {
+	cq, err := Recognize(p, goal)
+	if err != nil {
+		return nil, datalog.Atom{}, err
+	}
+	out := &datalog.Program{}
+	out.Facts = append(out.Facts, p.Facts...)
+	copyNonRecursiveRules(out, p, cq.Pred)
+	pc := "pc_" + cq.Pred
+	pm := "pm_" + cq.Pred
+	ans := "answer_" + cq.Pred
+	addMagicPart(out, cq, pm, preds.RM, preds.RM)
+	// Transfer rule: results of the magic part enter the counting
+	// descent at the RC/RM boundary.
+	j := datalog.V("J#")
+	transfer := datalog.Rule{Head: datalog.NewAtom(pc, j, datalog.V(cq.HeadY))}
+	transfer.Body = append(transfer.Body,
+		datalog.Pos(datalog.NewAtom(preds.RC, j, datalog.V(cq.HeadX))),
+		datalog.Pos(cq.Up),
+		datalog.Pos(datalog.NewAtom(pm, datalog.V(cq.RecX1), datalog.V(cq.RecY1))),
+		datalog.Pos(cq.Down),
+	)
+	out.AddRule(transfer)
+	addCountingPart(out, cq, pc, preds.RC)
+	out.AddRule(datalog.NewRule(
+		datalog.NewAtom(ans, datalog.V("Y#")),
+		datalog.NewAtom(pc, datalog.N(0), datalog.V("Y#")),
+	))
+	return out, datalog.NewAtom(ans, datalog.V("Y#")), nil
+}
+
+// addCountingPart emits the counting exit transfer and descent rules
+// seeded from the rc predicate.
+func addCountingPart(out *datalog.Program, cq *CanonicalQuery, pc, rcPred string) {
+	j, j1 := datalog.V("J#"), datalog.V("J1#")
+	exitX, exitY := cq.Exit.Head.Args[0], cq.Exit.Head.Args[1]
+	exit := datalog.Rule{Head: datalog.NewAtom(pc, j, exitY)}
+	exit.Body = append(exit.Body, datalog.Pos(datalog.NewAtom(rcPred, j, exitX)))
+	exit.Body = append(exit.Body, cq.Exit.Body...)
+	out.AddRule(exit)
+	out.AddRule(datalog.NewRule(
+		datalog.NewAtom(pc, j1, datalog.V(cq.HeadY)),
+		datalog.NewAtom(pc, j, datalog.V(cq.RecY1)),
+		datalog.NewAtom(datalog.BuiltinGe, j, datalog.N(1)),
+		cq.Down,
+		datalog.NewAtom(datalog.BuiltinAdd, j1, datalog.N(1), j),
+	))
+}
+
+// addMagicPart emits the magic exit and recursive rules; exitPred
+// gates the exit rule and recPred the recursive rule (MS for
+// independent methods, RM for integrated ones).
+func addMagicPart(out *datalog.Program, cq *CanonicalQuery, pm, exitPred, recPred string) {
+	exitX, exitY := cq.Exit.Head.Args[0], cq.Exit.Head.Args[1]
+	exit := datalog.Rule{Head: datalog.NewAtom(pm, exitX, exitY)}
+	exit.Body = append(exit.Body, datalog.Pos(datalog.NewAtom(exitPred, exitX)))
+	exit.Body = append(exit.Body, cq.Exit.Body...)
+	out.AddRule(exit)
+	out.AddRule(datalog.NewRule(
+		datalog.NewAtom(pm, datalog.V(cq.HeadX), datalog.V(cq.HeadY)),
+		datalog.NewAtom(recPred, datalog.V(cq.HeadX)),
+		cq.Up,
+		datalog.NewAtom(pm, datalog.V(cq.RecX1), datalog.V(cq.RecY1)),
+		cq.Down,
+	))
+}
+
+// ReducedSetFacts converts a core Step 1 result into the EDB facts the
+// emitted programs read: rm(x), rc(j, x), and ms(x).
+func ReducedSetFacts(q core.Query, strategy core.Strategy, mode core.Mode, preds ReducedSetPreds) ([]datalog.Atom, error) {
+	rs, names, err := q.ReducedSetsFor(strategy, mode, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	var facts []datalog.Atom
+	for v, inRM := range rs.RM {
+		if inRM {
+			facts = append(facts, datalog.NewAtom(preds.RM, datalog.S(names[v])))
+		}
+	}
+	for v, inMS := range rs.MS {
+		if inMS {
+			facts = append(facts, datalog.NewAtom(preds.MS, datalog.S(names[v])))
+		}
+	}
+	for _, pair := range rs.RCPairs() {
+		facts = append(facts, datalog.NewAtom(preds.RC, datalog.N(int64(pair.Index)), datalog.S(names[pair.Node])))
+	}
+	return facts, nil
+}

@@ -1,0 +1,449 @@
+package rewrite
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"magiccounting/internal/core"
+	"magiccounting/internal/datalog"
+	"magiccounting/internal/engine"
+	"magiccounting/internal/relation"
+)
+
+// sgProgram renders a canonical same-generation program with the
+// given parent facts.
+func sgProgram(parent []core.Pair) string {
+	var b strings.Builder
+	b.WriteString("sg(X, Y) :- person(X), X = Y.\n")
+	b.WriteString("sg(X, Y) :- up(X, X1), sg(X1, Y1), up(Y, Y1).\n")
+	people := map[string]bool{}
+	for _, p := range parent {
+		fmt.Fprintf(&b, "up(%s, %s).\n", p.From, p.To)
+		people[p.From] = true
+		people[p.To] = true
+	}
+	for x := range people {
+		fmt.Fprintf(&b, "person(%s).\n", x)
+	}
+	return b.String()
+}
+
+// canonicalProgram renders a general canonical program from a core
+// query, using distinct l, e, r relations.
+func canonicalProgram(q core.Query) (*datalog.Program, datalog.Atom) {
+	prog := &datalog.Program{}
+	prog.AddRule(datalog.MustParse(`p(X, Y) :- e(X, Y).`).Rules[0])
+	prog.AddRule(datalog.MustParse(`p(X, Y) :- l(X, X1), p(X1, Y1), r(Y, Y1).`).Rules[0])
+	for _, pr := range q.L {
+		prog.AddFact(datalog.NewAtom("l", datalog.S(pr.From), datalog.S(pr.To)))
+	}
+	for _, pr := range q.E {
+		prog.AddFact(datalog.NewAtom("e", datalog.S(pr.From), datalog.S(pr.To)))
+	}
+	for _, pr := range q.R {
+		prog.AddFact(datalog.NewAtom("r", datalog.S(pr.From), datalog.S(pr.To)))
+	}
+	goal := datalog.NewAtom("p", datalog.S(q.Source), datalog.V("Y"))
+	return prog, goal
+}
+
+// answersOf evaluates prog and extracts the goal's free-column values.
+func answersOf(t *testing.T, prog *datalog.Program, goal datalog.Atom, opts engine.Options) []string {
+	t.Helper()
+	store := relation.NewStore()
+	tuples, err := engine.Answers(prog, goal, store, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return extractFree(tuples, goal)
+}
+
+func extractFree(tuples []relation.Tuple, goal datalog.Atom) []string {
+	free := -1
+	for i, a := range goal.Args {
+		if a.IsVar() {
+			free = i
+		}
+	}
+	seen := map[string]bool{}
+	var out []string
+	for _, tup := range tuples {
+		v := tup[free].String()
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(xs []string) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+var testQuery = core.Query{
+	L: []core.Pair{
+		core.P("a", "b"), core.P("a", "c"), core.P("b", "d"), core.P("c", "d"),
+	},
+	E: []core.Pair{core.P("d", "rd"), core.P("b", "rb")},
+	R: []core.Pair{
+		core.P("r1", "rd"), core.P("r2", "r1"), core.P("r0", "rb"),
+	},
+	Source: "a",
+}
+
+func TestRecognizeCanonical(t *testing.T) {
+	prog, goal := canonicalProgram(testQuery)
+	cq, err := Recognize(prog, goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cq.Pred != "p" || cq.Up.Pred != "l" || cq.Down.Pred != "r" {
+		t.Fatalf("cq = %+v", cq)
+	}
+	if cq.HeadX != "X" || cq.HeadY != "Y" || cq.RecX1 != "X1" || cq.RecY1 != "Y1" {
+		t.Fatalf("roles = %+v", cq)
+	}
+}
+
+func TestRecognizeRejectsNonCanonical(t *testing.T) {
+	bad := []string{
+		// nonlinear
+		`p(X, Y) :- e(X, Y).
+		 p(X, Y) :- p(X, Z), p(Z, Y).`,
+		// two exit rules
+		`p(X, Y) :- e(X, Y).
+		 p(X, Y) :- f(X, Y).
+		 p(X, Y) :- l(X, X1), p(X1, Y1), r(Y, Y1).`,
+		// extra body literal
+		`p(X, Y) :- e(X, Y).
+		 p(X, Y) :- l(X, X1), q(X), p(X1, Y1), r(Y, Y1).`,
+		// down literal misoriented
+		`p(X, Y) :- e(X, Y).
+		 p(X, Y) :- l(X, X1), p(X1, Y1), r(Y1, Y).`,
+		// used outside its recursion
+		`p(X, Y) :- e(X, Y).
+		 p(X, Y) :- l(X, X1), p(X1, Y1), r(Y, Y1).
+		 q(X) :- p(X, X).`,
+	}
+	for i, src := range bad {
+		prog := datalog.MustParse(src)
+		goal := datalog.NewAtom("p", datalog.S("a"), datalog.V("Y"))
+		if _, err := Recognize(prog, goal); err == nil {
+			t.Errorf("case %d should be rejected", i)
+		}
+	}
+	prog := datalog.MustParse(`p(X, Y) :- e(X, Y).
+	p(X, Y) :- l(X, X1), p(X1, Y1), r(Y, Y1).`)
+	if _, err := Recognize(prog, datalog.NewAtom("p", datalog.V("X"), datalog.V("Y"))); err == nil {
+		t.Error("free goal should be rejected")
+	}
+	if _, err := Recognize(prog, datalog.NewAtom("p", datalog.S("a"), datalog.S("b"))); err == nil {
+		t.Error("ground goal should be rejected")
+	}
+}
+
+func TestMagicSetsRewriteMatchesCore(t *testing.T) {
+	prog, goal := canonicalProgram(testQuery)
+	rewritten, renamed, err := MagicSetsForQuery(prog, goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := answersOf(t, rewritten, renamed, engine.Options{})
+	want, err := testQuery.SolveMagic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalStrings(got, want.Answers) {
+		t.Fatalf("rewrite answers = %v, core = %v", got, want.Answers)
+	}
+}
+
+func TestMagicSetsRestrictsComputation(t *testing.T) {
+	// The magic rewrite must not materialize sg pairs for people
+	// unreachable from the query constant.
+	parent := []core.Pair{
+		core.P("a", "p1"), core.P("b", "p1"),
+		core.P("z1", "z2"), core.P("z2", "z3"), // unrelated family
+	}
+	prog := datalog.MustParse(sgProgram(parent))
+	goal := datalog.NewAtom("sg", datalog.S("a"), datalog.V("Y"))
+	rewritten, renamed, err := MagicSetsForQuery(prog, goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := relation.NewStore()
+	tuples, err := engine.Answers(rewritten, renamed, store, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := extractFree(tuples, renamed)
+	if !equalStrings(got, []string{"a", "b"}) {
+		t.Fatalf("answers = %v, want [a b]", got)
+	}
+	sg, ok := store.Lookup(renamed.Pred)
+	if !ok {
+		t.Fatal("adorned sg relation missing")
+	}
+	for _, tup := range sg.Tuples() {
+		if strings.HasPrefix(tup[0].String(), "z") {
+			t.Fatalf("magic rewrite computed irrelevant tuple %v", tup)
+		}
+	}
+}
+
+func TestMagicSeedFact(t *testing.T) {
+	prog, goal := canonicalProgram(testQuery)
+	rewritten, _, err := MagicSetsForQuery(prog, goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, f := range rewritten.Facts {
+		if f.Pred == "m_p__bf" && len(f.Args) == 1 && f.Args[0].Const == relation.Sym("a") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("magic seed fact m_p__bf(a) missing")
+	}
+}
+
+func TestCountingRewriteMatchesCore(t *testing.T) {
+	prog, goal := canonicalProgram(testQuery)
+	rewritten, renamed, err := Counting(prog, goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := answersOf(t, rewritten, renamed, engine.Options{})
+	want, err := testQuery.SolveCounting()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalStrings(got, want.Answers) {
+		t.Fatalf("rewrite answers = %v, core = %v", got, want.Answers)
+	}
+}
+
+func TestCountingRewriteDivergesOnCycle(t *testing.T) {
+	q := core.Query{
+		L:      []core.Pair{core.P("a", "b"), core.P("b", "a")},
+		E:      []core.Pair{core.P("a", "ra")},
+		R:      nil,
+		Source: "a",
+	}
+	prog, goal := canonicalProgram(q)
+	rewritten, renamed, err := Counting(prog, goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := relation.NewStore()
+	_, err = engine.Answers(rewritten, renamed, store, engine.Options{MaxIterations: 60})
+	if !errors.Is(err, engine.ErrIterationLimit) {
+		t.Fatalf("err = %v, want iteration limit (unsafe counting)", err)
+	}
+}
+
+func TestCountingRewriteSameGenerationIdentityExit(t *testing.T) {
+	parent := []core.Pair{core.P("c1", "p"), core.P("c2", "p")}
+	prog := datalog.MustParse(sgProgram(parent))
+	goal := datalog.NewAtom("sg", datalog.S("c1"), datalog.V("Y"))
+	rewritten, renamed, err := Counting(prog, goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := answersOf(t, rewritten, renamed, engine.Options{})
+	if !equalStrings(got, []string{"c1", "c2"}) {
+		t.Fatalf("answers = %v, want siblings", got)
+	}
+}
+
+func TestIndependentAndIntegratedMCMatchCore(t *testing.T) {
+	for _, q := range []core.Query{testQuery, core.SameGeneration(testQuery.L, "a")} {
+		want, err := q.SolveNaive()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, strat := range []core.Strategy{core.Basic, core.Single, core.Multiple, core.Recurring} {
+			for _, mode := range []core.Mode{core.Independent, core.Integrated} {
+				prog, goal := canonicalProgram(q)
+				preds := DefaultReducedSetPreds("p")
+				facts, err := ReducedSetFacts(q, strat, mode, preds)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var rewritten *datalog.Program
+				var renamed datalog.Atom
+				if mode == core.Independent {
+					rewritten, renamed, err = IndependentMC(prog, goal, preds)
+				} else {
+					rewritten, renamed, err = IntegratedMC(prog, goal, preds)
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, f := range facts {
+					rewritten.AddFact(f)
+				}
+				// Declare possibly-empty reduced-set relations so the
+				// engine knows their arity even when no fact exists.
+				rewritten.AddRule(datalog.MustParse(
+					"declare_rm(X) :- " + preds.RM + "(X).\n" +
+						"declare_ms(X) :- " + preds.MS + "(X).\n" +
+						"declare_rc(J, X) :- " + preds.RC + "(J, X).\n").Rules[0])
+				got := answersOf(t, rewritten, renamed, engine.Options{})
+				if !equalStrings(got, want.Answers) {
+					t.Fatalf("%v/%v: rewrite = %v, naive = %v", strat, mode, got, want.Answers)
+				}
+			}
+		}
+	}
+}
+
+// Property: the magic rewrite evaluated by the generic engine agrees
+// with the specialized core magic solver on random instances.
+func TestMagicRewriteMatchesCoreProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := randomCanonical(rng)
+		prog, goal := canonicalProgram(q)
+		rewritten, renamed, err := MagicSetsForQuery(prog, goal)
+		if err != nil {
+			return false
+		}
+		store := relation.NewStore()
+		tuples, err := engine.Answers(rewritten, renamed, store, engine.Options{})
+		if err != nil {
+			return false
+		}
+		got := extractFree(tuples, renamed)
+		want, err := q.SolveMagic()
+		if err != nil {
+			return false
+		}
+		if !equalStrings(got, want.Answers) {
+			t.Logf("seed %d: rewrite %v, core %v", seed, got, want.Answers)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomCanonical(rng *rand.Rand) core.Query {
+	nL := 2 + rng.Intn(5)
+	nR := 2 + rng.Intn(5)
+	var q core.Query
+	q.Source = "x0"
+	for i := 0; i < rng.Intn(2*nL); i++ {
+		q.L = append(q.L, core.P(fmt.Sprintf("x%d", rng.Intn(nL)), fmt.Sprintf("x%d", rng.Intn(nL))))
+	}
+	for i := 0; i < 1+rng.Intn(nL); i++ {
+		q.E = append(q.E, core.P(fmt.Sprintf("x%d", rng.Intn(nL)), fmt.Sprintf("y%d", rng.Intn(nR))))
+	}
+	for i := 0; i < rng.Intn(2*nR); i++ {
+		q.R = append(q.R, core.P(fmt.Sprintf("y%d", rng.Intn(nR)), fmt.Sprintf("y%d", rng.Intn(nR))))
+	}
+	return q
+}
+
+func TestAdornmentOfErrors(t *testing.T) {
+	if _, err := adornmentOf("plain"); err == nil {
+		t.Fatal("non-adorned name should error")
+	}
+	ad, err := adornmentOf("p__bf")
+	if err != nil || ad != "bf" {
+		t.Fatalf("adornmentOf = %v, %v", ad, err)
+	}
+}
+
+func TestMagicSetsOnNonRecursiveProgram(t *testing.T) {
+	prog := datalog.MustParse(`
+e(a, b). e(b, c).
+path(X, Y) :- e(X, Y).
+`)
+	goal := datalog.NewAtom("path", datalog.S("a"), datalog.V("Y"))
+	rewritten, renamed, err := MagicSetsForQuery(prog, goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := answersOf(t, rewritten, renamed, engine.Options{})
+	if !equalStrings(got, []string{"b"}) {
+		t.Fatalf("answers = %v", got)
+	}
+}
+
+func TestMagicSetsWithNegatedEDBLiterals(t *testing.T) {
+	// Stratified negation over EDB predicates survives the rewrite:
+	// the negated literal rides along in both the modified and the
+	// magic rules.
+	prog := datalog.MustParse(`
+e(a, b). e(b, c). e(c, d). bad(c).
+path(X, Y) :- e(X, Y), not bad(Y).
+path(X, Y) :- e(X, Z), not bad(Z), path(Z, Y).
+`)
+	goal := datalog.NewAtom("path", datalog.S("a"), datalog.V("Y"))
+	rewritten, renamed, err := MagicSetsForQuery(prog, goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := answersOf(t, rewritten, renamed, engine.Options{})
+	// c is bad, so only b is reachable through good nodes.
+	if !equalStrings(got, []string{"b"}) {
+		t.Fatalf("answers = %v, want [b]", got)
+	}
+}
+
+func TestMagicSetsTransitiveClosure(t *testing.T) {
+	// A non-canonical (but linear) program: the generic rewrite must
+	// handle it even though the counting rewrite rejects it.
+	prog := datalog.MustParse(`
+e(a, b). e(b, c). e(c, d). e(z, z2).
+tc(X, Y) :- e(X, Y).
+tc(X, Y) :- e(X, Z), tc(Z, Y).
+`)
+	goal := datalog.NewAtom("tc", datalog.S("a"), datalog.V("Y"))
+	rewritten, renamed, err := MagicSetsForQuery(prog, goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := relation.NewStore()
+	tuples, err := engine.Answers(rewritten, renamed, store, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := extractFree(tuples, renamed)
+	if !equalStrings(got, []string{"b", "c", "d"}) {
+		t.Fatalf("answers = %v", got)
+	}
+	// The z component must not be touched.
+	tc, _ := store.Lookup(renamed.Pred)
+	for _, tup := range tc.Tuples() {
+		if tup[0].String() == "z" {
+			t.Fatal("magic rewrite explored unreachable region")
+		}
+	}
+}

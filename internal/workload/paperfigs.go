@@ -1,0 +1,66 @@
+package workload
+
+import "magiccounting/internal/core"
+
+// PaperFig1 reconstructs the Figure 1 query graph of the paper from
+// the properties its prose states: a regular magic graph over
+// a, a1..a5; R-side arcs over b1..b9 including a cyclic path (the
+// self-loop at b8) through which b3 is reached; answer set
+// {b3, b5, b7, b8, b9}.
+func PaperFig1() core.Query {
+	return core.Query{
+		L: []core.Pair{
+			core.P("a", "a1"), core.P("a", "a2"), core.P("a1", "a3"),
+			core.P("a2", "a3"), core.P("a3", "a5"), core.P("a1", "a4"),
+		},
+		E: []core.Pair{core.P("a1", "b3"), core.P("a5", "b8"), core.P("a4", "b6")},
+		R: []core.Pair{
+			core.P("b5", "b3"),
+			core.P("b8", "b8"),
+			core.P("b9", "b8"),
+			core.P("b7", "b9"),
+			core.P("b3", "b7"),
+			core.P("b4", "b6"),
+			core.P("b2", "b1"), core.P("b1", "b2"),
+		},
+		Source: "a",
+	}
+}
+
+// PaperFig1Answers is the answer set Figure 1's discussion states.
+var PaperFig1Answers = []string{"b3", "b5", "b7", "b8", "b9"}
+
+// PaperFig1Acyclic adds the tuple ⟨a2, a5⟩ to L: the paper notes this
+// makes the query acyclic non-regular (a5 becomes multiple).
+func PaperFig1Acyclic() core.Query {
+	q := PaperFig1()
+	q.L = append(q.L, core.P("a2", "a5"))
+	return q
+}
+
+// PaperFig1Cyclic adds the tuple ⟨a5, a2⟩ to L: the paper notes this
+// makes the query cyclic (a2, a3, a5 become recurring).
+func PaperFig1Cyclic() core.Query {
+	q := PaperFig1()
+	q.L = append(q.L, core.P("a5", "a2"))
+	return q
+}
+
+// PaperFig2Parent is the reconstructed magic graph of Figure 2 over
+// nodes a..l: single {a,b,c,d,e,f}, multiple {h,k}, recurring
+// {g,i,j,l}, i_x = 2. It reproduces the paper's reduced sets for all
+// four strategies and fourteen of the sixteen §7–§9 parameter values
+// (the figure itself is lost from the surviving text; see DESIGN.md).
+func PaperFig2Parent() []core.Pair {
+	return []core.Pair{
+		core.P("a", "b"), core.P("a", "c"), core.P("a", "d"),
+		core.P("b", "e"), core.P("b", "f"), core.P("c", "f"),
+		core.P("c", "h"), core.P("e", "h"), core.P("h", "k"),
+		core.P("e", "g"), core.P("g", "i"), core.P("i", "g"),
+		core.P("i", "j"), core.P("j", "l"),
+	}
+}
+
+// PaperFig2 is the same-generation query over the Figure 2 magic
+// graph, rooted at a.
+func PaperFig2() core.Query { return core.SameGeneration(PaperFig2Parent(), "a") }

@@ -1,0 +1,252 @@
+// Package workload generates deterministic query instances covering
+// every magic-graph regime of the paper: regular (all nodes single),
+// acyclic non-regular (multiple nodes), and cyclic (recurring nodes).
+// The generators parameterize the experiment harness that regenerates
+// the paper's Tables 1–5 and Figure 3.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"magiccounting/internal/core"
+)
+
+// name formats a node constant with a role prefix, so L-side and
+// R-side constants never collide accidentally.
+func name(prefix string, i int) string { return fmt.Sprintf("%s%d", prefix, i) }
+
+// Chain returns a same-generation instance over a path of n arcs:
+// the magic graph is a chain — regular, n_L = n+1, m_L = n.
+func Chain(n int) core.Query {
+	return core.SameGeneration(chainPairs("v", n), name("v", 0))
+}
+
+func chainPairs(prefix string, n int) []core.Pair {
+	pairs := make([]core.Pair, 0, n)
+	for i := 0; i < n; i++ {
+		pairs = append(pairs, core.P(name(prefix, i), name(prefix, i+1)))
+	}
+	return pairs
+}
+
+// Tree returns a same-generation instance over a complete tree with
+// the given branching factor and depth, arcs pointing away from the
+// root. All nodes are single (every node has one distance from the
+// root), so the magic graph is regular.
+func Tree(branch, depth int) core.Query {
+	var pairs []core.Pair
+	// Nodes are numbered heap-style: node i has children branch*i+1..
+	total := 0
+	per := 1
+	for d := 0; d < depth; d++ {
+		total += per
+		per *= branch
+	}
+	for i := 0; i < total; i++ {
+		for c := 0; c < branch; c++ {
+			pairs = append(pairs, core.P(name("t", i), name("t", branch*i+c+1)))
+		}
+	}
+	return core.SameGeneration(pairs, name("t", 0))
+}
+
+// Grid returns a same-generation instance over a w×h grid with arcs
+// right and down: every path from corner to a cell has the same
+// length (Manhattan distance), so the magic graph is regular with
+// m_L ≈ 2·n_L.
+func Grid(w, h int) core.Query {
+	id := func(x, y int) string { return fmt.Sprintf("g%d_%d", x, y) }
+	var pairs []core.Pair
+	for x := 0; x < w; x++ {
+		for y := 0; y < h; y++ {
+			if x+1 < w {
+				pairs = append(pairs, core.P(id(x, y), id(x+1, y)))
+			}
+			if y+1 < h {
+				pairs = append(pairs, core.P(id(x, y), id(x, y+1)))
+			}
+		}
+	}
+	return core.SameGeneration(pairs, id(0, 0))
+}
+
+// ShortcutChain returns a chain of n arcs plus shortcut arcs skipping
+// `stride` nodes: nodes past the first shortcut have several distinct
+// distances, so the magic graph is acyclic but non-regular (Table 1's
+// middle row).
+func ShortcutChain(n, stride int) core.Query {
+	pairs := chainPairs("s", n)
+	for i := 0; i+stride+1 <= n; i += stride {
+		pairs = append(pairs, core.P(name("s", i), name("s", i+stride+1)))
+	}
+	return core.SameGeneration(pairs, name("s", 0))
+}
+
+// Lasso returns a chain of `tail` arcs ending in a cycle of `loop`
+// arcs: every cycle node (and anything past it) is recurring, making
+// the counting method unsafe (Table 1's bottom row).
+func Lasso(tail, loop int) core.Query {
+	pairs := chainPairs("c", tail)
+	// Cycle over fresh nodes c(tail)..c(tail+loop-1).
+	for i := 0; i < loop; i++ {
+		from := name("c", tail+i)
+		to := name("c", tail+(i+1)%loop)
+		pairs = append(pairs, core.P(from, to))
+	}
+	return core.SameGeneration(pairs, name("c", 0))
+}
+
+// Cycle returns a pure cycle of n arcs through the source.
+func Cycle(n int) core.Query {
+	var pairs []core.Pair
+	for i := 0; i < n; i++ {
+		pairs = append(pairs, core.P(name("c", i), name("c", (i+1)%n)))
+	}
+	return core.SameGeneration(pairs, name("c", 0))
+}
+
+// SingleFrontier builds the §7 shape: a regular prefix region of
+// `low` chain nodes below the first non-regular level, followed by a
+// non-regular suffix region of `high` nodes containing a shortcut
+// (acyclic) or a back arc (cyclic). The single/multiple/recurring
+// methods split this graph at increasingly precise boundaries.
+func SingleFrontier(low, high int, cyclic bool) core.Query {
+	pairs := chainPairs("f", low+high)
+	// Make the suffix non-regular right at level `low`.
+	if high >= 2 {
+		pairs = append(pairs, core.P(name("f", low-1), name("f", low+1)))
+	}
+	if cyclic && high >= 3 {
+		pairs = append(pairs, core.P(name("f", low+high), name("f", low+2)))
+	}
+	return core.SameGeneration(pairs, name("f", 0))
+}
+
+// Comb builds the §8 shape: a long regular spine with one multiple
+// branch hanging off its start, so the single method discards almost
+// everything while the multiple method keeps the whole spine in RC.
+// The spine has `spine` arcs; the branch is a diamond with sides of
+// length 2 and 3 rooted next to the source.
+func Comb(spine int) core.Query {
+	pairs := chainPairs("m", spine)
+	root := name("m", 0)
+	// Short side: root -> d1 -> dx. Long side: root -> d2 -> d3 -> dx.
+	pairs = append(pairs,
+		core.P(root, "d1"), core.P("d1", "dx"),
+		core.P(root, "d2"), core.P("d2", "d3"), core.P("d3", "dx"),
+	)
+	return core.SameGeneration(pairs, root)
+}
+
+// CycleTail builds the §9 shape: a large single+multiple region (a
+// spine with a diamond) whose far end drops into a small cycle, so
+// only the recurring method keeps the multiple nodes in RC.
+func CycleTail(spine, loop int) core.Query {
+	q := Comb(spine)
+	parent := append([]core.Pair(nil), q.L...)
+	// Attach a cycle past the diamond.
+	parent = append(parent, core.P("dx", "r0"))
+	for i := 0; i < loop; i++ {
+		parent = append(parent, core.P(name("r", i), name("r", (i+1)%loop)))
+	}
+	return core.SameGeneration(parent, name("m", 0))
+}
+
+// ChordCycle returns a cycle of n arcs with a skip-one chord at every
+// even node: every node then has Θ(n) distinct walk lengths below the
+// recurring method's 2K−1 bound, which makes the §9 naive Step 1 do
+// its full Θ(n_L·m_L) work — the adversarial shape for the Step 1
+// ablation (the Tarjan variant stays linear).
+func ChordCycle(n int) core.Query {
+	var pairs []core.Pair
+	for i := 0; i < n; i++ {
+		pairs = append(pairs, core.P(name("h", i), name("h", (i+1)%n)))
+		if i%2 == 0 && i+2 < n {
+			pairs = append(pairs, core.P(name("h", i), name("h", i+2)))
+		}
+	}
+	return core.SameGeneration(pairs, name("h", 0))
+}
+
+// Random returns a random canonical query with independently chosen
+// L, E, and R relations over domains of the given sizes, driven by a
+// seeded generator for reproducibility.
+func Random(seed int64, nL, nR int) core.Query {
+	rng := rand.New(rand.NewSource(seed))
+	var q core.Query
+	q.Source = name("x", 0)
+	for i := 0; i < 3*nL; i++ {
+		q.L = append(q.L, core.P(name("x", rng.Intn(nL)), name("x", rng.Intn(nL))))
+	}
+	for i := 0; i < nL; i++ {
+		q.E = append(q.E, core.P(name("x", rng.Intn(nL)), name("y", rng.Intn(nR))))
+	}
+	for i := 0; i < 3*nR; i++ {
+		q.R = append(q.R, core.P(name("y", rng.Intn(nR)), name("y", rng.Intn(nR))))
+	}
+	return q
+}
+
+// RandomDAG returns a random layered DAG instance: `layers` layers of
+// `width` nodes, arcs only between adjacent layers plus a fraction of
+// layer-skipping arcs that create multiple nodes. Acyclic by
+// construction.
+func RandomDAG(seed int64, layers, width int, skipFrac float64) core.Query {
+	rng := rand.New(rand.NewSource(seed))
+	id := func(l, i int) string { return fmt.Sprintf("d%d_%d", l, i) }
+	var pairs []core.Pair
+	src := "droot"
+	for i := 0; i < width; i++ {
+		pairs = append(pairs, core.P(src, id(0, i)))
+	}
+	for l := 0; l+1 < layers; l++ {
+		for i := 0; i < width; i++ {
+			// Two forward arcs per node keep the graph connected.
+			for k := 0; k < 2; k++ {
+				pairs = append(pairs, core.P(id(l, i), id(l+1, rng.Intn(width))))
+			}
+			if rng.Float64() < skipFrac && l+2 < layers {
+				pairs = append(pairs, core.P(id(l, i), id(l+2, rng.Intn(width))))
+			}
+		}
+	}
+	return core.SameGeneration(pairs, src)
+}
+
+// WithRDensity replaces the R relation of a same-generation query by
+// a chain-shaped relation with the given number of arcs over fresh
+// constants attached to the E targets, letting experiments scale m_R
+// independently of m_L (the paper's m_L = O(m_R) average-case
+// assumption is varied this way).
+func WithRDensity(q core.Query, mr int) core.Query {
+	// Keep E as identity on L-side values, but rebuild R as a set of
+	// chains hanging from each E target so the descent has work
+	// proportional to mr.
+	targets := make(map[string]bool)
+	for _, e := range q.E {
+		targets[e.To] = true
+	}
+	if len(targets) == 0 {
+		return q
+	}
+	per := mr / len(targets)
+	var r []core.Pair
+	i := 0
+	for _, e := range q.E {
+		if !targets[e.To] {
+			continue
+		}
+		delete(targets, e.To)
+		prev := e.To
+		for k := 0; k < per; k++ {
+			next := fmt.Sprintf("w%d_%d", i, k)
+			// Pair (next, prev) is the R fact; descent arc prev->next.
+			r = append(r, core.P(next, prev))
+			prev = next
+		}
+		i++
+	}
+	q.R = r
+	return q
+}

@@ -1,0 +1,229 @@
+package workload
+
+import (
+	"testing"
+
+	"magiccounting/internal/core"
+)
+
+func params(t *testing.T, q core.Query) core.GraphParams {
+	t.Helper()
+	return q.Params()
+}
+
+func TestChainIsRegular(t *testing.T) {
+	p := params(t, Chain(10))
+	if !p.Regular || p.Cyclic {
+		t.Fatalf("chain params = %+v", p)
+	}
+	if p.NL != 11 || p.ML != 10 {
+		t.Fatalf("NL=%d ML=%d, want 11/10", p.NL, p.ML)
+	}
+}
+
+func TestTreeIsRegular(t *testing.T) {
+	p := params(t, Tree(2, 4))
+	if !p.Regular || p.Cyclic {
+		t.Fatalf("tree params = %+v", p)
+	}
+	// 1+2+4+8+16 = 31 nodes, 30 arcs.
+	if p.NL != 31 || p.ML != 30 {
+		t.Fatalf("NL=%d ML=%d, want 31/30", p.NL, p.ML)
+	}
+}
+
+func TestGridIsRegular(t *testing.T) {
+	p := params(t, Grid(4, 5))
+	if !p.Regular || p.Cyclic {
+		t.Fatalf("grid params = %+v", p)
+	}
+	if p.NL != 20 {
+		t.Fatalf("NL = %d, want 20", p.NL)
+	}
+}
+
+func TestShortcutChainIsAcyclicNonRegular(t *testing.T) {
+	p := params(t, ShortcutChain(12, 3))
+	if p.Regular || p.Cyclic {
+		t.Fatalf("shortcut chain params = %+v", p)
+	}
+}
+
+func TestLassoIsCyclic(t *testing.T) {
+	p := params(t, Lasso(5, 4))
+	if !p.Cyclic {
+		t.Fatalf("lasso params = %+v", p)
+	}
+	if _, err := Lasso(5, 4).SolveCounting(); err == nil {
+		t.Fatal("counting should be unsafe on a lasso")
+	}
+}
+
+func TestCycleIsCyclic(t *testing.T) {
+	p := params(t, Cycle(6))
+	if !p.Cyclic {
+		t.Fatalf("cycle params = %+v", p)
+	}
+}
+
+func TestSingleFrontierShapes(t *testing.T) {
+	ac := params(t, SingleFrontier(8, 6, false))
+	if ac.Regular || ac.Cyclic {
+		t.Fatalf("acyclic frontier params = %+v", ac)
+	}
+	// The regular prefix keeps i_x at the prefix boundary.
+	if ac.IX < 2 || ac.IX > 9 {
+		t.Fatalf("IX = %d, want within prefix", ac.IX)
+	}
+	cy := params(t, SingleFrontier(8, 6, true))
+	if !cy.Cyclic {
+		t.Fatalf("cyclic frontier params = %+v", cy)
+	}
+}
+
+func TestCombHasMultipleButNoRecurring(t *testing.T) {
+	p := params(t, Comb(10))
+	if p.Regular || p.Cyclic {
+		t.Fatalf("comb params = %+v", p)
+	}
+	// The spine nodes are single; only the diamond sink is multiple.
+	if p.NS < 10 {
+		t.Fatalf("NS = %d, want most nodes single", p.NS)
+	}
+}
+
+func TestCycleTailHasAllThreeClasses(t *testing.T) {
+	p := params(t, CycleTail(10, 4))
+	if !p.Cyclic {
+		t.Fatalf("cycle tail params = %+v", p)
+	}
+	if p.NS == 0 || p.NM <= p.NS {
+		t.Fatalf("expected singles and multiples: NS=%d NM=%d", p.NS, p.NM)
+	}
+	if p.NM >= p.NL {
+		t.Fatal("expected recurring nodes too")
+	}
+}
+
+func TestChordCycleAllRecurringAndDense(t *testing.T) {
+	q := ChordCycle(20)
+	p := params(t, q)
+	if !p.Cyclic {
+		t.Fatalf("chord cycle params = %+v", p)
+	}
+	// Every node sits on the cycle, so everything is recurring: the
+	// single+multiple region is empty.
+	if p.NM != 0 {
+		t.Fatalf("NM = %d, want 0 (all recurring)", p.NM)
+	}
+	// The shape exists to make the naive recurring Step 1 quadratic;
+	// methods must still be correct on it.
+	want, err := q.SolveNaive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := q.SolveMagicCounting(core.Recurring, core.Integrated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) != len(want.Answers) {
+		t.Fatalf("answers = %v, want %v", res.Answers, want.Answers)
+	}
+}
+
+func TestRandomIsDeterministic(t *testing.T) {
+	a := Random(42, 6, 6)
+	b := Random(42, 6, 6)
+	if len(a.L) != len(b.L) || len(a.R) != len(b.R) || len(a.E) != len(b.E) {
+		t.Fatal("Random not deterministic")
+	}
+	for i := range a.L {
+		if a.L[i] != b.L[i] {
+			t.Fatal("Random not deterministic in L")
+		}
+	}
+}
+
+func TestRandomDAGIsAcyclic(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		p := params(t, RandomDAG(seed, 6, 4, 0.5))
+		if p.Cyclic {
+			t.Fatalf("seed %d: RandomDAG produced a cycle", seed)
+		}
+	}
+}
+
+func TestWithRDensityScalesMR(t *testing.T) {
+	q := Chain(10)
+	small := WithRDensity(q, 20).Params()
+	large := WithRDensity(q, 200).Params()
+	if large.MR <= small.MR {
+		t.Fatalf("MR did not scale: %d vs %d", small.MR, large.MR)
+	}
+	// The L side must be untouched.
+	if small.NL != large.NL || small.ML != large.ML {
+		t.Fatal("WithRDensity changed the magic graph")
+	}
+}
+
+func TestWithRDensityKeepsMethodsCorrect(t *testing.T) {
+	q := WithRDensity(ShortcutChain(9, 3), 60)
+	want, err := q.SolveNaive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []core.Strategy{core.Basic, core.Single, core.Multiple, core.Recurring} {
+		for _, m := range []core.Mode{core.Independent, core.Integrated} {
+			res, err := q.SolveMagicCounting(s, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Answers) != len(want.Answers) {
+				t.Fatalf("%v/%v = %v, want %v", s, m, res.Answers, want.Answers)
+			}
+		}
+	}
+}
+
+// Every generator's instance must be solved identically by naive,
+// magic, and the full magic counting family.
+func TestGeneratorsCrossValidate(t *testing.T) {
+	cases := map[string]core.Query{
+		"chain":          Chain(8),
+		"tree":           Tree(2, 3),
+		"grid":           Grid(3, 3),
+		"shortcut":       ShortcutChain(9, 3),
+		"lasso":          Lasso(4, 3),
+		"cycle":          Cycle(5),
+		"frontier":       SingleFrontier(5, 4, false),
+		"frontierCyclic": SingleFrontier(5, 4, true),
+		"comb":           Comb(6),
+		"cycletail":      CycleTail(6, 3),
+		"random":         Random(7, 5, 5),
+		"dag":            RandomDAG(3, 4, 3, 0.4),
+	}
+	for tname, q := range cases {
+		want, err := q.SolveNaive()
+		if err != nil {
+			t.Fatalf("%s: %v", tname, err)
+		}
+		m, err := q.SolveMagic()
+		if err != nil {
+			t.Fatalf("%s: %v", tname, err)
+		}
+		if len(m.Answers) != len(want.Answers) {
+			t.Fatalf("%s: magic %v, want %v", tname, m.Answers, want.Answers)
+		}
+		for _, s := range []core.Strategy{core.Basic, core.Single, core.Multiple, core.Recurring} {
+			for _, md := range []core.Mode{core.Independent, core.Integrated} {
+				res, err := q.SolveMagicCounting(s, md)
+				if err != nil {
+					t.Fatalf("%s %v/%v: %v", tname, s, md, err)
+				}
+				if len(res.Answers) != len(want.Answers) {
+					t.Fatalf("%s %v/%v: %v, want %v", tname, s, md, res.Answers, want.Answers)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,105 @@
+// Package magiccounting is a from-scratch implementation of the query
+// evaluation methods of Saccà & Zaniolo, "Magic Counting Methods"
+// (SIGMOD 1987), together with the deductive-database substrate they
+// run on: an in-memory relational store with tuple-retrieval cost
+// accounting, a Datalog dialect with parser and stratified bottom-up
+// engine, the magic-sets and counting program rewrites, and the full
+// magic counting family — {basic, single, multiple, recurring} ×
+// {independent, integrated} — for canonical strongly linear queries
+//
+//	?- P(a, Y).
+//	P(X, Y) :- E(X, Y).
+//	P(X, Y) :- L(X, X1), P(X1, Y1), R(Y, Y1).
+//
+// This package is the stable facade: it re-exports the core solver
+// API so users need not reach into internal packages.
+//
+// Quick start:
+//
+//	q := magiccounting.SameGeneration(parentPairs, "ann")
+//	res, err := q.SolveMagicCounting(magiccounting.Multiple, magiccounting.Integrated)
+//
+// See examples/ for runnable programs, DESIGN.md for the system
+// inventory, and EXPERIMENTS.md for the reproduction of the paper's
+// tables and figures.
+package magiccounting
+
+import "magiccounting/internal/core"
+
+// Pair is one fact of a binary database relation.
+type Pair = core.Pair
+
+// Query is an instance of the canonical strongly linear query class.
+type Query = core.Query
+
+// Result is a method's answer set with its cost statistics.
+type Result = core.Result
+
+// Stats carries a run's tuple-retrieval cost and set sizes.
+type Stats = core.Stats
+
+// GraphParams are the paper's §3 and §§7–9 query-graph measures.
+type GraphParams = core.GraphParams
+
+// Strategy selects the Step 1 reduced-set construction.
+type Strategy = core.Strategy
+
+// Mode selects independent (§4) or integrated (§5) evaluation.
+type Mode = core.Mode
+
+// Options tunes a magic counting run.
+type Options = core.Options
+
+// ReducedSets is the Step 1 partition (RM, RC) of the magic set.
+type ReducedSets = core.ReducedSets
+
+// The four reduced-set strategies of §§6–9.
+const (
+	Basic     = core.Basic
+	Single    = core.Single
+	Multiple  = core.Multiple
+	Recurring = core.Recurring
+)
+
+// The two evaluation modes of §§4–5.
+const (
+	Independent = core.Independent
+	Integrated  = core.Integrated
+)
+
+// ErrUnsafe reports that the pure counting method would not terminate
+// on the given database (cyclic magic graph).
+var ErrUnsafe = core.ErrUnsafe
+
+// P constructs a Pair.
+func P(from, to string) Pair { return core.P(from, to) }
+
+// SameGeneration builds the classic instance: L = R = parent and E the
+// identity on every person.
+func SameGeneration(parent []Pair, source string) Query {
+	return core.SameGeneration(parent, source)
+}
+
+// CheckReducedSets validates the Theorem 1/2 correctness conditions
+// of a reduced-set pair against a query's true node classification.
+func CheckReducedSets(q Query, rs *ReducedSets, mode Mode) error {
+	return core.CheckReducedSets(q, rs, mode)
+}
+
+// Proof is provenance for one answer: the concrete Fact 2 path of k
+// L arcs, one E arc, and k R arcs.
+type Proof = core.Proof
+
+// Witness returns a minimal-length proof that answer belongs to the
+// query's answer set, or an error if it does not.
+func Witness(q Query, answer string) (*Proof, error) { return core.Witness(q, answer) }
+
+// VerifyProof checks a proof against the database relations.
+func VerifyProof(q Query, p *Proof) error { return core.VerifyProof(q, p) }
+
+// SolveWithReducedSets evaluates the query with caller-supplied
+// reduced sets, bypassing Step 1 — the tool for probing the exact
+// correctness boundary of Theorems 1 and 2.
+func SolveWithReducedSets(q Query, rs *ReducedSets, mode Mode) (*Result, error) {
+	return core.SolveWithReducedSets(q, rs, mode)
+}

@@ -1,0 +1,89 @@
+package magiccounting
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	parent := []Pair{
+		P("ann", "carl"), P("ben", "carl"),
+		P("carl", "ed"), P("dora", "ed"),
+	}
+	q := SameGeneration(parent, "ann")
+	res, err := q.SolveMagicCounting(Multiple, Integrated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// dora is a child of ed and hence one generation above ann (a
+	// grandchild of ed); only ben shares ann's generation.
+	want := []string{"ann", "ben"}
+	if len(res.Answers) != len(want) {
+		t.Fatalf("answers = %v, want %v", res.Answers, want)
+	}
+	for i := range want {
+		if res.Answers[i] != want[i] {
+			t.Fatalf("answers = %v, want %v", res.Answers, want)
+		}
+	}
+	if res.Stats.Retrievals == 0 {
+		t.Fatal("stats should carry costs")
+	}
+}
+
+func TestFacadeUnsafeError(t *testing.T) {
+	q := SameGeneration([]Pair{P("a", "b"), P("b", "a")}, "a")
+	if _, err := q.SolveCounting(); !errors.Is(err, ErrUnsafe) {
+		t.Fatalf("err = %v, want ErrUnsafe", err)
+	}
+	res, err := q.SolveMagicCounting(Recurring, Integrated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) != 1 || res.Answers[0] != "a" {
+		t.Fatalf("answers = %v", res.Answers)
+	}
+}
+
+func TestFacadeReducedSetInspection(t *testing.T) {
+	q := SameGeneration([]Pair{P("a", "b"), P("b", "c"), P("a", "c")}, "a")
+	rs, names, err := q.ReducedSetsFor(Multiple, Independent, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 3 {
+		t.Fatalf("names = %v", names)
+	}
+	if err := CheckReducedSets(q, rs, Independent); err != nil {
+		t.Fatal(err)
+	}
+	// c has distances 1 and 2: it must be the one RM (multiple) node.
+	rmCount := 0
+	for _, in := range rs.RM {
+		if in {
+			rmCount++
+		}
+	}
+	if rmCount != 1 {
+		t.Fatalf("RM count = %d, want 1 (node c is multiple)", rmCount)
+	}
+}
+
+func TestFacadeParams(t *testing.T) {
+	q := SameGeneration([]Pair{P("a", "b"), P("b", "c")}, "a")
+	p := q.Params()
+	if !p.Regular || p.Cyclic || p.NL != 3 {
+		t.Fatalf("params = %+v", p)
+	}
+}
+
+func TestFacadeConstantsDistinct(t *testing.T) {
+	strategies := map[Strategy]bool{Basic: true, Single: true, Multiple: true, Recurring: true}
+	if len(strategies) != 4 {
+		t.Fatal("strategy constants collide")
+	}
+	modes := map[Mode]bool{Independent: true, Integrated: true}
+	if len(modes) != 2 {
+		t.Fatal("mode constants collide")
+	}
+}
