@@ -8,15 +8,18 @@
 //	mcbench -experiment tab1      # a single table
 //	mcbench -sizes 32,64,128      # a custom sweep
 //	mcbench -o results.txt        # write to a file
+//	mcbench -json                 # also write BENCH_<timestamp>.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"magiccounting/internal/harness"
 )
@@ -34,6 +37,7 @@ func run(args []string, stdout io.Writer) error {
 	sizesFlag := fs.String("sizes", "", "comma-separated sweep sizes (default 16,32,64)")
 	outPath := fs.String("o", "", "write results to this file instead of stdout")
 	format := fs.String("format", "text", "output format: text or json")
+	jsonOut := fs.Bool("json", false, "also write BENCH_<timestamp>.json with per-experiment wall times")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -60,21 +64,27 @@ func run(args []string, stdout io.Writer) error {
 	if *experiment == "fig3-dot" {
 		return harness.WriteHierarchyDOT(out)
 	}
-	var tables []*harness.Table
+	ids := []string{*experiment}
 	if *experiment == "all" {
-		for _, id := range []string{"tab1", "tab2", "tab3", "tab4", "tab5", "fig1", "fig2", "fig3"} {
-			t, err := harness.ByID(id, sizes)
-			if err != nil {
-				return err
-			}
-			tables = append(tables, t)
-		}
-	} else {
-		t, err := harness.ByID(*experiment, sizes)
+		ids = []string{"tab1", "tab2", "tab3", "tab4", "tab5", "fig1", "fig2", "fig3"}
+	}
+	var tables []*harness.Table
+	var wall []time.Duration
+	for _, id := range ids {
+		start := time.Now()
+		t, err := harness.ByID(id, sizes)
 		if err != nil {
 			return err
 		}
+		wall = append(wall, time.Since(start))
 		tables = append(tables, t)
+	}
+	if *jsonOut {
+		path, err := writeBenchJSON(".", sizes, tables, wall)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", path)
 	}
 	switch *format {
 	case "text":
@@ -87,4 +97,53 @@ func run(args []string, stdout io.Writer) error {
 	default:
 		return fmt.Errorf("unknown format %q (want text or json)", *format)
 	}
+}
+
+// benchExperiment is one experiment's machine-readable record: its
+// rendered cells (method names and retrieval counts) plus the wall
+// time the run took.
+type benchExperiment struct {
+	ID     string     `json:"id"`
+	Title  string     `json:"title"`
+	WallMS float64    `json:"wall_ms"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	Notes  []string   `json:"notes,omitempty"`
+}
+
+// benchFile is the BENCH_<timestamp>.json schema, the unit of the
+// repo's machine-readable perf trajectory.
+type benchFile struct {
+	Timestamp   string            `json:"timestamp"`
+	Sizes       []int             `json:"sizes"`
+	Experiments []benchExperiment `json:"experiments"`
+}
+
+// writeBenchJSON writes the benchmark record into dir and returns the
+// file's path.
+func writeBenchJSON(dir string, sizes []int, tables []*harness.Table, wall []time.Duration) (string, error) {
+	now := time.Now()
+	bf := benchFile{Timestamp: now.Format(time.RFC3339), Sizes: sizes}
+	for i, t := range tables {
+		bf.Experiments = append(bf.Experiments, benchExperiment{
+			ID:     t.ID,
+			Title:  t.Title,
+			WallMS: float64(wall[i].Microseconds()) / 1000,
+			Header: t.Header,
+			Rows:   t.Rows,
+			Notes:  t.Notes,
+		})
+	}
+	path := fmt.Sprintf("%s/BENCH_%s.json", dir, now.Format("20060102T150405"))
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(bf); err != nil {
+		f.Close()
+		return "", err
+	}
+	return path, f.Close()
 }

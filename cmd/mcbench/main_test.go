@@ -60,6 +60,38 @@ func TestJSONFormat(t *testing.T) {
 	}
 }
 
+func TestBenchJSONFile(t *testing.T) {
+	dir := t.TempDir()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(wd)
+	var buf bytes.Buffer
+	if err := run([]string{"-experiment", "tab2", "-sizes", "8", "-json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("BENCH files: %v (err %v), want exactly 1", matches, err)
+	}
+	data, err := os.ReadFile(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"wall_ms"`, `"id": "Table 2"`, `"timestamp"`, "mc-basic-ind"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("bench file missing %q:\n%s", want, data)
+		}
+	}
+	if !strings.Contains(buf.String(), "wrote ") {
+		t.Errorf("run did not announce the bench file: %q", buf.String())
+	}
+}
+
 func TestFig3DOT(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-experiment", "fig3-dot"}, &buf); err != nil {

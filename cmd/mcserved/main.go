@@ -1,0 +1,91 @@
+// Command mcserved serves magic counting queries over HTTP: a
+// long-lived database of L/E/R facts, a bounded solver worker pool,
+// and a per-(source, strategy, mode) result cache invalidated by
+// fact appends.
+//
+// Usage:
+//
+//	mcserved                       # listen on :8377
+//	mcserved -addr :9000 -workers 8 -timeout 5s
+//
+// API (JSON unless noted):
+//
+//	POST /v1/query   {"source": "ann", "strategy": "multiple", "mode": "integrated", "timeout_ms": 100}
+//	                 strategy/mode optional: omitted, the method is
+//	                 chosen per the query graph's Figure 3 regime
+//	POST /v1/facts   {"l": [...], "e": [...], "r": [...], "parent": [...]}
+//	                 pairs are {"from": "x", "to": "y"}; parent pairs
+//	                 feed L and R plus identity E facts (the classic
+//	                 same-generation instance, loaded incrementally)
+//	GET  /v1/stats   service counters
+//	GET  /healthz    liveness probe (text)
+//	GET  /metrics    Prometheus text exposition
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"magiccounting/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "mcserved:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the server and blocks until a shutdown signal (or until
+// ready is closed after being sent the bound address, in tests).
+func run(args []string, stdout io.Writer, ready chan<- net.Addr) error {
+	fs := flag.NewFlagSet("mcserved", flag.ContinueOnError)
+	addr := fs.String("addr", ":8377", "listen address")
+	workers := fs.Int("workers", 0, "solver worker-pool size (0 = GOMAXPROCS)")
+	timeout := fs.Duration("timeout", 30*time.Second, "default per-query timeout")
+	cacheCap := fs.Int("cache", 1024, "result-cache capacity (entries)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	svc := server.New(server.Config{
+		Workers:        *workers,
+		DefaultTimeout: *timeout,
+		CacheCap:       *cacheCap,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{
+		Handler:           server.NewHandler(svc),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	fmt.Fprintf(stdout, "mcserved: listening on %s\n", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr()
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(stop)
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-stop:
+		fmt.Fprintf(stdout, "mcserved: %v, shutting down\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		return srv.Shutdown(ctx)
+	}
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestServeAndShutdown boots the server on an ephemeral port, drives
+// one facts-load/query round trip over real HTTP, and shuts it down
+// with SIGTERM.
+func TestServeAndShutdown(t *testing.T) {
+	var out bytes.Buffer
+	ready := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() { done <- run([]string{"-addr", "127.0.0.1:0", "-workers", "2"}, &out, ready) }()
+	var addr net.Addr
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("server exited early: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	base := fmt.Sprintf("http://%s", addr)
+
+	resp, err := http.Post(base+"/v1/facts", "application/json",
+		strings.NewReader(`{"parent": [{"from":"ann","to":"bob"}, {"from":"amy","to":"bob"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("facts: status %d", resp.StatusCode)
+	}
+	resp, err = http.Post(base+"/v1/query", "application/json",
+		strings.NewReader(`{"source": "ann"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q struct {
+		Answers []string `json:"answers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&q); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if fmt.Sprint(q.Answers) != fmt.Sprint([]string{"amy", "ann"}) {
+		t.Fatalf("answers = %v, want [amy ann]", q.Answers)
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+	if !strings.Contains(out.String(), "listening on") || !strings.Contains(out.String(), "shutting down") {
+		t.Fatalf("unexpected log output: %q", out.String())
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	if err := run([]string{"-bogus"}, &bytes.Buffer{}, nil); err == nil {
+		t.Fatal("expected flag error")
+	}
+}

@@ -63,7 +63,7 @@ func (in *instance) countingSets() (*levelSet, int, error) {
 	cs.add(0, in.src)
 	n := len(in.lNames)
 	iterations := 0
-	for j := 0; len(cs.at(j)) > 0; j++ {
+	for j := 0; len(cs.at(j)) > 0 && !in.stopped(); j++ {
 		iterations++
 		if j+1 > n {
 			return nil, iterations, ErrUnsafe
@@ -82,7 +82,7 @@ func (in *instance) countingSets() (*levelSet, int, error) {
 //
 //	P_C(J, Y) :- seed(J, X), E(X, Y).
 func (in *instance) seedExit(pc, seed *levelSet) {
-	for j := 0; j < len(seed.levels); j++ {
+	for j := 0; j < len(seed.levels) && !in.stopped(); j++ {
 		for _, x := range seed.at(j) {
 			in.charge(1 + int64(len(in.eOut[x])))
 			for _, y := range in.eOut[x] {
@@ -100,7 +100,7 @@ func (in *instance) seedExit(pc, seed *levelSet) {
 // returning the answer node set and one iteration tick per level.
 func (in *instance) descend(pc *levelSet) (map[int32]bool, int) {
 	iterations := 0
-	for j := pc.maxLevel(); j >= 1; j-- {
+	for j := pc.maxLevel(); j >= 1 && !in.stopped(); j-- {
 		iterations++
 		for _, y1 := range pc.at(j) {
 			in.charge(1 + int64(len(in.rOut[y1])))

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// bigCycle builds the same-generation instance over one directed
+// n-cycle: every node is recurring, so the whole graph lands in the
+// magic part and the solve scans it several times over.
+func bigCycle(n int) Query {
+	pairs := make([]Pair, n)
+	for i := range pairs {
+		pairs[i] = P(fmt.Sprintf("v%d", i), fmt.Sprintf("v%d", (i+1)%n))
+	}
+	return SameGeneration(pairs, "v0")
+}
+
+func TestSolveCtxAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, mode := range []Mode{Independent, Integrated} {
+		for _, s := range []Strategy{Basic, Single, Multiple, Recurring} {
+			_, err := bigCycle(64).SolveMagicCountingCtx(ctx, s, mode)
+			if !errors.Is(err, context.Canceled) {
+				t.Errorf("%v/%v: err = %v, want context.Canceled", s, mode, err)
+			}
+		}
+	}
+}
+
+func TestSolveCtxDeadlineStopsMidFixpoint(t *testing.T) {
+	// Big enough that building and solving takes tens of milliseconds
+	// on any machine, so a 1ms deadline always expires mid-run.
+	q := bigCycle(30000)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	started := time.Now()
+	_, err := q.SolveMagicCountingCtx(ctx, Recurring, Integrated)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(started); elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %v, full run is seconds — not prompt", elapsed)
+	}
+}
+
+func TestSolveCtxNilAndBackgroundUnaffected(t *testing.T) {
+	q := bigCycle(32)
+	plain, err := q.SolveMagicCounting(Multiple, Integrated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bg, err := q.SolveMagicCountingOpts(Multiple, Integrated, Options{Ctx: context.Background()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(plain.Answers) != fmt.Sprint(bg.Answers) || plain.Stats != bg.Stats {
+		t.Fatalf("background ctx changed the run: %+v vs %+v", plain, bg)
+	}
+}
+
+func TestChooseMethodRegimes(t *testing.T) {
+	chain := SameGeneration([]Pair{P("a", "b"), P("b", "c")}, "a")
+	// Two walks of different length reach d: a->d and a->b->d.
+	multi := SameGeneration([]Pair{P("a", "b"), P("b", "d"), P("a", "d")}, "a")
+	cyclic := SameGeneration([]Pair{P("a", "b"), P("b", "a")}, "a")
+	cases := []struct {
+		name     string
+		q        Query
+		regime   Regime
+		strategy Strategy
+		scc      bool
+	}{
+		{"regular", chain, RegimeRegular, Basic, false},
+		{"acyclic", multi, RegimeAcyclic, Multiple, false},
+		{"cyclic", cyclic, RegimeCyclic, Recurring, true},
+	}
+	for _, c := range cases {
+		sel := ChooseMethod(c.q)
+		if sel.Regime != c.regime || sel.Strategy != c.strategy || sel.Mode != Integrated || sel.Options.SCCStep1 != c.scc {
+			t.Errorf("%s: got %+v", c.name, sel)
+		}
+		if sel.Reason == "" {
+			t.Errorf("%s: empty reason", c.name)
+		}
+		// The selected method must agree with ground truth.
+		res, selDup, err := c.q.SolveAuto(Options{})
+		if err != nil {
+			t.Fatalf("%s: SolveAuto: %v", c.name, err)
+		}
+		if selDup.Strategy != sel.Strategy {
+			t.Errorf("%s: SolveAuto picked %v, ChooseMethod %v", c.name, selDup.Strategy, sel.Strategy)
+		}
+		naive, err := c.q.SolveNaive()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(res.Answers) != fmt.Sprint(naive.Answers) {
+			t.Errorf("%s: auto answers %v != naive %v", c.name, res.Answers, naive.Answers)
+		}
+	}
+}

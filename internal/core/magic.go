@@ -11,7 +11,7 @@ func (in *instance) reachableSet() []bool {
 	ms := make([]bool, len(in.lNames))
 	ms[in.src] = true
 	queue := []int32{in.src}
-	for len(queue) > 0 {
+	for len(queue) > 0 && !in.stopped() {
 		x := queue[0]
 		queue = queue[1:]
 		in.charge(1 + int64(len(in.lOut[x])))
@@ -91,7 +91,7 @@ func (in *instance) magicPairs(exit []int32, rec []bool, boundary func(x, y1 int
 		}
 	}
 	iterations := 0
-	for len(work) > 0 {
+	for len(work) > 0 && !in.stopped() {
 		iterations++
 		x1y1 := work[len(work)-1]
 		work = work[:len(work)-1]

@@ -18,6 +18,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -86,6 +87,39 @@ type instance struct {
 	src int32 // source L-node
 
 	retrievals int64 // tuple retrievals charged so far
+
+	ctx       context.Context // nil when cancellation is disabled
+	ctxStride int64           // charges since the last deadline poll
+	ctxErr    error           // sticky ctx.Err(), set once observed
+}
+
+// ctxPollStride bounds how many charge calls may pass between two
+// polls of ctx.Err(). Each charge call corresponds to at least one
+// tuple retrieval, so a stride of 1024 keeps cancellation latency in
+// the microsecond range without putting a syscall-ish check on the
+// hot path.
+const ctxPollStride = 1024
+
+// setContext arms cancellation. A nil or Background context leaves
+// the instance uncancellable (zero overhead in charge).
+func (in *instance) setContext(ctx context.Context) {
+	if ctx == nil || ctx.Done() == nil {
+		return
+	}
+	in.ctx = ctx
+}
+
+// stopped reports whether the run's context has been observed as
+// cancelled. Fixpoint loops test it in their conditions so a
+// timed-out query stops mid-fixpoint instead of burning CPU.
+func (in *instance) stopped() bool { return in.ctxErr != nil }
+
+// pollCtx forces an immediate deadline check (used at phase
+// boundaries, where a check is cheap relative to the phase).
+func (in *instance) pollCtx() {
+	if in.ctx != nil && in.ctxErr == nil {
+		in.ctxErr = in.ctx.Err()
+	}
 }
 
 // build interns a query into graph form. The source and E-arc
@@ -153,8 +187,20 @@ func build(q Query) *instance {
 	return in
 }
 
-// charge adds n tuple retrievals.
-func (in *instance) charge(n int64) { in.retrievals += n }
+// charge adds n tuple retrievals and, every ctxPollStride calls,
+// polls the run's context so long fixpoints notice cancellation.
+func (in *instance) charge(n int64) {
+	in.retrievals += n
+	if in.ctx != nil {
+		in.ctxStride++
+		if in.ctxStride >= ctxPollStride {
+			in.ctxStride = 0
+			if in.ctxErr == nil {
+				in.ctxErr = in.ctx.Err()
+			}
+		}
+	}
+}
 
 // lGraph converts the magic graph G_L to a graph.Digraph for analysis.
 func (in *instance) lGraph() *graph.Digraph {

@@ -151,7 +151,7 @@ func (in *instance) flaggedBFS() (firstIdx []int, flagged []bool, ix int, iterat
 			}
 		}
 	}
-	for lvl := 0; len(level) > 0; lvl++ {
+	for lvl := 0; len(level) > 0 && !in.stopped(); lvl++ {
 		iterations++
 		var next []int32
 		for _, x := range level {
@@ -266,7 +266,7 @@ func (in *instance) step1Multiple(integrated bool) *ReducedSets {
 	idx1[in.src] = 0
 	level := []int32{in.src}
 	iterations := 0
-	for lvl := 0; len(level) > 0; lvl++ {
+	for lvl := 0; len(level) > 0 && !in.stopped(); lvl++ {
 		iterations++
 		var next []int32
 		for _, x := range level {
@@ -322,7 +322,7 @@ func (in *instance) step1RecurringNaive(integrated bool) *ReducedSets {
 	seen := make(map[int32]bool)
 	seen[in.src] = true
 	iterations := 0
-	for j := 0; len(cs.at(j)) > 0 && j < 2*len(seen)-1; j++ {
+	for j := 0; len(cs.at(j)) > 0 && j < 2*len(seen)-1 && !in.stopped(); j++ {
 		iterations++
 		for _, x := range cs.at(j) {
 			in.charge(1 + int64(len(in.lOut[x])))

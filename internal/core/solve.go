@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // Options tunes a magic counting run.
 type Options struct {
@@ -8,6 +11,10 @@ type Options struct {
 	// with the linear-time Tarjan variant the paper sketches. It only
 	// affects Strategy == Recurring.
 	SCCStep1 bool
+	// Ctx, when non-nil, cancels the run: the Step 1 and Step 2
+	// fixpoints poll it and return ctx.Err() instead of a result once
+	// it is done. A nil Ctx disables cancellation entirely.
+	Ctx context.Context
 }
 
 // SolveMagicCounting evaluates the query with the magic counting
@@ -18,9 +25,17 @@ func (q Query) SolveMagicCounting(strategy Strategy, mode Mode) (*Result, error)
 	return q.SolveMagicCountingOpts(strategy, mode, Options{})
 }
 
+// SolveMagicCountingCtx is SolveMagicCounting under a context: the
+// run stops promptly with ctx.Err() when ctx is cancelled or times
+// out, even mid-fixpoint.
+func (q Query) SolveMagicCountingCtx(ctx context.Context, strategy Strategy, mode Mode) (*Result, error) {
+	return q.SolveMagicCountingOpts(strategy, mode, Options{Ctx: ctx})
+}
+
 // SolveMagicCountingOpts is SolveMagicCounting with explicit options.
 func (q Query) SolveMagicCountingOpts(strategy Strategy, mode Mode, opts Options) (*Result, error) {
 	in := build(q)
+	in.setContext(opts.Ctx)
 	integrated := mode == Integrated
 	var rs *ReducedSets
 	switch strategy {
@@ -39,12 +54,19 @@ func (q Query) SolveMagicCountingOpts(strategy Strategy, mode Mode, opts Options
 	default:
 		return nil, fmt.Errorf("core: unknown strategy %v", strategy)
 	}
+	in.pollCtx()
+	if in.stopped() {
+		return nil, in.ctxErr
+	}
 	var answers map[int32]bool
 	var iter int
 	if integrated {
 		answers, iter = in.solveIntegrated(rs)
 	} else {
 		answers, iter = in.solveIndependent(rs)
+	}
+	if in.stopped() {
+		return nil, in.ctxErr
 	}
 	rm, rc := rs.counts()
 	msSize := 0

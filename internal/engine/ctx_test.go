@@ -1,0 +1,68 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"magiccounting/internal/datalog"
+	"magiccounting/internal/relation"
+)
+
+// transitiveClosure builds a tc program over a chain of n arcs, big
+// enough to need many fixpoint rounds.
+func transitiveClosure(t *testing.T, n int) *datalog.Program {
+	t.Helper()
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "e(n%d, n%d).\n", i, i+1)
+	}
+	b.WriteString("tc(X, Y) :- e(X, Y).\ntc(X, Y) :- e(X, Z), tc(Z, Y).\n")
+	p, err := datalog.Parse(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestEvalCtxAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Eval(transitiveClosure(t, 8), relation.NewStore(), Options{Ctx: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestEvalCtxCancelMidFixpoint(t *testing.T) {
+	for _, naive := range []bool{false, true} {
+		ctx, cancel := context.WithCancel(context.Background())
+		// Cancel after evaluation has started: the per-round poll must
+		// notice. A chain of 300 needs ~300 rounds, so cancelling from
+		// a goroutine racing round 1 is reliably mid-run; the already-
+		// cancelled case above covers the immediate path.
+		go cancel()
+		_, err := Eval(transitiveClosure(t, 300), relation.NewStore(), Options{Naive: naive, Ctx: ctx})
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("naive=%v: err = %v, want nil or context.Canceled", naive, err)
+		}
+		cancel()
+	}
+}
+
+func TestEvalNilCtxUnaffected(t *testing.T) {
+	p := transitiveClosure(t, 8)
+	stats, err := Eval(p, relation.NewStore(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bg, err := Eval(transitiveClosure(t, 8), relation.NewStore(), Options{Ctx: context.Background()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Derived != bg.Derived || stats.Iterations != bg.Iterations {
+		t.Fatalf("background ctx changed evaluation: %+v vs %+v", stats, bg)
+	}
+}

@@ -6,6 +6,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -26,6 +27,18 @@ type Options struct {
 	// MaxIterations bounds the rounds of any one stratum's fixpoint.
 	// Zero selects DefaultMaxIterations.
 	MaxIterations int
+	// Ctx, when non-nil, cancels the evaluation: every fixpoint round
+	// polls it and Eval returns ctx.Err() once it is done, matching
+	// the cancellation semantics of the core solver path.
+	Ctx context.Context
+}
+
+// ctxErr polls the options context (nil context never errs).
+func (o Options) ctxErr() error {
+	if o.Ctx == nil {
+		return nil
+	}
+	return o.Ctx.Err()
 }
 
 // DefaultMaxIterations is the default per-stratum round bound. It is
@@ -62,6 +75,9 @@ func (s *Stats) note(pred string) {
 func Eval(p *datalog.Program, store *relation.Store, opts Options) (*Stats, error) {
 	if opts.MaxIterations <= 0 {
 		opts.MaxIterations = DefaultMaxIterations
+	}
+	if err := opts.ctxErr(); err != nil {
+		return nil, err
 	}
 	if err := p.CheckSafety(); err != nil {
 		return nil, err
@@ -140,6 +156,9 @@ func evalNaive(rules []datalog.Rule, store *relation.Store, opts Options, stats 
 		if round >= opts.MaxIterations {
 			return fmt.Errorf("%w after %d rounds", ErrIterationLimit, round)
 		}
+		if err := opts.ctxErr(); err != nil {
+			return err
+		}
 		stats.Iterations++
 		added := 0
 		for _, r := range rules {
@@ -179,6 +198,9 @@ func evalSeminaive(rules []datalog.Rule, heads map[string]bool, store *relation.
 	for round := 1; ; round++ {
 		if round >= opts.MaxIterations {
 			return fmt.Errorf("%w after %d rounds", ErrIterationLimit, round)
+		}
+		if err := opts.ctxErr(); err != nil {
+			return err
 		}
 		total := 0
 		for _, d := range deltas {

@@ -17,6 +17,7 @@ type Relation struct {
 	tuples  []Tuple
 	present map[string]struct{}
 	indexes map[string]*index // keyed by column-spec string
+	frozen  bool              // read-only: no inserts, no lazy index builds
 }
 
 type index struct {
@@ -54,9 +55,22 @@ func (r *Relation) Meter() *Meter { return r.meter }
 // SetMeter redirects this relation's cost accounting to m.
 func (r *Relation) SetMeter(m *Meter) { r.meter = m }
 
+// Freeze marks the relation read-only. A frozen relation is safe for
+// concurrent readers: Insert panics, and Lookup never builds an index
+// lazily — a probe with no prebuilt index falls back to a filtered
+// scan instead of mutating the index map. Build any hot-path indexes
+// with EnsureIndex before freezing. Freezing is irreversible.
+func (r *Relation) Freeze() { r.frozen = true }
+
+// Frozen reports whether the relation has been frozen.
+func (r *Relation) Frozen() bool { return r.frozen }
+
 // Insert adds t to the relation if not already present and reports
 // whether it was new. The tuple is copied, so callers may reuse t.
 func (r *Relation) Insert(t Tuple) bool {
+	if r.frozen {
+		panic("relation: Insert into frozen relation " + r.name)
+	}
 	if len(t) != r.arity {
 		panic(fmt.Sprintf("relation: %s has arity %d, inserting %d-tuple %v", r.name, r.arity, len(t), t))
 	}
@@ -116,6 +130,9 @@ func (r *Relation) EnsureIndex(cols ...int) {
 	if _, ok := r.indexes[spec]; ok {
 		return
 	}
+	if r.frozen {
+		panic("relation: EnsureIndex on frozen relation " + r.name)
+	}
 	for _, c := range cols {
 		if c < 0 || c >= r.arity {
 			panic(fmt.Sprintf("relation: index column %d out of range for %s/%d", c, r.name, r.arity))
@@ -143,6 +160,13 @@ func (r *Relation) Lookup(cols []int, vals []Value, fn func(Tuple) bool) {
 	spec := colSpec(cols)
 	ix, ok := r.indexes[spec]
 	if !ok {
+		if r.frozen {
+			// No lazy build on a frozen relation: a filtered scan keeps
+			// concurrent readers mutation-free at the cost of one
+			// retrieval per matching tuple, as an index probe charges.
+			r.scanMatch(cols, vals, fn)
+			return
+		}
 		r.EnsureIndex(cols...)
 		ix = r.indexes[spec]
 	}
@@ -153,6 +177,53 @@ func (r *Relation) Lookup(cols []int, vals []Value, fn func(Tuple) bool) {
 			return
 		}
 	}
+}
+
+// scanMatch is Lookup's index-free fallback: a full scan filtered on
+// cols = vals, charging one retrieval per matching tuple.
+func (r *Relation) scanMatch(cols []int, vals []Value, fn func(Tuple) bool) {
+	for _, t := range r.tuples {
+		match := true
+		for i, c := range cols {
+			if t[c] != vals[i] {
+				match = false
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		r.meter.Add(1)
+		if !fn(t) {
+			return
+		}
+	}
+}
+
+// snapshot returns a frozen copy charging to meter. It shares the
+// (append-only) tuple storage with r but owns its membership and
+// index maps, so later inserts into r never touch the snapshot.
+func (r *Relation) snapshot(meter *Meter) *Relation {
+	c := &Relation{
+		name:    r.name,
+		arity:   r.arity,
+		meter:   meter,
+		tuples:  r.tuples[:len(r.tuples):len(r.tuples)],
+		present: make(map[string]struct{}, len(r.present)),
+		indexes: make(map[string]*index, len(r.indexes)),
+		frozen:  true,
+	}
+	for k := range r.present {
+		c.present[k] = struct{}{}
+	}
+	for spec, ix := range r.indexes {
+		cix := &index{cols: append([]int(nil), ix.cols...), buckets: make(map[string][]int, len(ix.buckets))}
+		for k, pos := range ix.buckets {
+			cix.buckets[k] = pos[:len(pos):len(pos)]
+		}
+		c.indexes[spec] = cix
+	}
+	return c
 }
 
 // MatchCount returns how many tuples match vals on cols, charging one

@@ -74,6 +74,21 @@ func (s *Store) Clone() *Store {
 	return c
 }
 
+// Snapshot returns a frozen copy-on-write view of the store for
+// concurrent readers: every relation in the snapshot is frozen (no
+// inserts, no lazy index builds), shares the original's append-only
+// tuple storage, and charges to the snapshot's own fresh atomic
+// Meter. The caller must ensure no writer runs concurrently with
+// Snapshot itself; afterwards, writers may keep inserting into the
+// original while any number of goroutines read the snapshot.
+func (s *Store) Snapshot() *Store {
+	c := &Store{meter: &Meter{}, relations: make(map[string]*Relation, len(s.relations))}
+	for name, r := range s.relations {
+		c.relations[name] = r.snapshot(c.meter)
+	}
+	return c
+}
+
 // TotalTuples returns the number of tuples across all relations.
 func (s *Store) TotalTuples() int {
 	n := 0

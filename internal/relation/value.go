@@ -13,6 +13,7 @@ package relation
 import (
 	"fmt"
 	"strconv"
+	"sync/atomic"
 )
 
 // Kind discriminates the constant types storable in a tuple field.
@@ -153,16 +154,18 @@ func (t Tuple) String() string {
 
 // Meter accumulates tuple-retrieval counts. A single Meter is shared
 // by all relations participating in one query evaluation, so the total
-// reflects the whole method, mirroring the paper's cost model.
+// reflects the whole method, mirroring the paper's cost model. The
+// counter is atomic, so concurrent evaluations (e.g. parallel queries
+// against a frozen store snapshot) may share one Meter safely.
 type Meter struct {
-	retrievals int64
+	retrievals atomic.Int64
 }
 
 // Add charges n tuple retrievals. A nil Meter is a no-op, so unmetered
 // relations cost nothing to use.
 func (m *Meter) Add(n int64) {
 	if m != nil {
-		m.retrievals += n
+		m.retrievals.Add(n)
 	}
 }
 
@@ -171,13 +174,13 @@ func (m *Meter) Retrievals() int64 {
 	if m == nil {
 		return 0
 	}
-	return m.retrievals
+	return m.retrievals.Load()
 }
 
 // Reset zeroes the counter.
 func (m *Meter) Reset() {
 	if m != nil {
-		m.retrievals = 0
+		m.retrievals.Store(0)
 	}
 }
 

@@ -1,0 +1,106 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyRing is a fixed-size ring buffer of recent query latencies,
+// the window behind the p50/p99 gauges of /metrics. A ring keeps the
+// percentiles fresh (old traffic ages out) at O(window) memory.
+type latencyRing struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	next    int
+	filled  bool
+}
+
+func newLatencyRing(window int) *latencyRing {
+	return &latencyRing{samples: make([]time.Duration, window)}
+}
+
+// record appends one latency sample, overwriting the oldest once the
+// window is full.
+func (r *latencyRing) record(d time.Duration) {
+	r.mu.Lock()
+	r.samples[r.next] = d
+	r.next++
+	if r.next == len(r.samples) {
+		r.next = 0
+		r.filled = true
+	}
+	r.mu.Unlock()
+}
+
+// percentile returns the p-th (0..1) latency over the current window,
+// nearest-rank on a sorted copy. An empty window reads 0.
+func (r *latencyRing) percentile(p float64) time.Duration {
+	r.mu.Lock()
+	n := r.next
+	if r.filled {
+		n = len(r.samples)
+	}
+	buf := make([]time.Duration, n)
+	copy(buf, r.samples[:n])
+	r.mu.Unlock()
+	if n == 0 {
+		return 0
+	}
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	rank := int(p*float64(n) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return buf[rank-1]
+}
+
+// WriteMetrics writes the service counters in the Prometheus text
+// exposition format.
+func (s *Service) WriteMetrics(w io.Writer) error {
+	st := s.Stats()
+	counters := []struct {
+		name, help string
+		value      any
+	}{
+		{"mc_queries_total", "Queries received.", st.Queries},
+		{"mc_cache_hits_total", "Queries answered from the result cache.", st.CacheHits},
+		{"mc_cache_misses_total", "Queries that ran a solver.", st.CacheMisses},
+		{"mc_query_errors_total", "Queries that returned an error.", st.QueryErrors},
+		{"mc_query_timeouts_total", "Queries cancelled by deadline.", st.QueryTimeouts},
+		{"mc_fact_appends_total", "Fact-append requests handled.", st.FactAppends},
+		{"mc_tuple_retrievals_total", "Tuple retrievals charged by solver runs.", st.TupleRetrievals},
+		{"mc_generation", "Current database generation.", st.Generation},
+		{"mc_cache_entries", "Live result-cache entries.", st.CacheEntries},
+		{"mc_inflight_queries", "Queries currently holding a worker slot.", st.InFlight},
+		{"mc_facts_l", "Facts in the L relation.", st.FactsL},
+		{"mc_facts_e", "Facts in the E relation.", st.FactsE},
+		{"mc_facts_r", "Facts in the R relation.", st.FactsR},
+	}
+	for _, c := range counters {
+		kind := "gauge"
+		if len(c.name) > 6 && c.name[len(c.name)-6:] == "_total" {
+			kind = "counter"
+		}
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %v\n", c.name, c.help, c.name, kind, c.name, c.value); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# HELP mc_query_latency_seconds Query latency over the ring-buffer window.\n# TYPE mc_query_latency_seconds summary\n"); err != nil {
+		return err
+	}
+	for _, q := range []struct {
+		label string
+		ms    float64
+	}{{"0.5", st.LatencyP50MS}, {"0.99", st.LatencyP99MS}} {
+		if _, err := fmt.Fprintf(w, "mc_query_latency_seconds{quantile=%q} %g\n", q.label, q.ms/1000); err != nil {
+			return err
+		}
+	}
+	return nil
+}

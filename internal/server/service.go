@@ -1,0 +1,460 @@
+// Package server is the serving layer over the core magic counting
+// solvers: a long-lived Service owning the database relations L, E,
+// and R, a bounded worker pool, and a per-(source, strategy, mode)
+// result cache with generation-based invalidation, so repeated bound
+// queries against a slowly-changing database amortize Step 1 and
+// Step 2 instead of recomputing them — the workload the paper (and
+// the magic-sets literature after it) is about.
+//
+// cmd/mcserved wraps the Service in a JSON HTTP API.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"magiccounting/internal/core"
+)
+
+// ErrBadRequest wraps client errors (empty source, unknown strategy
+// or mode) so the HTTP layer can map them to 400 responses.
+var ErrBadRequest = errors.New("server: bad request")
+
+// Config tunes a Service.
+type Config struct {
+	// Workers bounds the number of queries solving concurrently;
+	// excess requests queue (respecting their context). Zero selects
+	// GOMAXPROCS.
+	Workers int
+	// DefaultTimeout applies to queries that carry no deadline of
+	// their own. Zero selects 30 seconds.
+	DefaultTimeout time.Duration
+	// CacheCap bounds the number of cached results. Zero selects 1024.
+	CacheCap int
+	// LatencyWindow is the latency ring-buffer size behind the p50/p99
+	// metrics. Zero selects 1024.
+	LatencyWindow int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.CacheCap <= 0 {
+		c.CacheCap = 1024
+	}
+	if c.LatencyWindow <= 0 {
+		c.LatencyWindow = 1024
+	}
+	return c
+}
+
+// cacheKey identifies one cached evaluation. Auto-selected queries
+// cache under their own key so a hit skips even the graph
+// classification that selection would redo.
+type cacheKey struct {
+	source   string
+	strategy core.Strategy
+	mode     core.Mode
+	auto     bool
+}
+
+// cacheEntry is a result valid for exactly one database generation.
+type cacheEntry struct {
+	generation uint64
+	result     *core.Result
+	strategy   core.Strategy
+	mode       core.Mode
+	regime     string
+	reason     string
+}
+
+// Service owns a database of L/E/R facts and answers magic counting
+// queries against it. All methods are safe for concurrent use.
+type Service struct {
+	cfg Config
+	sem chan struct{} // worker-pool slots
+
+	mu         sync.RWMutex // guards the fact slices, generation, cache
+	l, e, r    []core.Pair
+	generation uint64
+	cache      map[cacheKey]*cacheEntry
+
+	start time.Time
+	lat   *latencyRing
+
+	queries     atomic.Int64
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+	queryErrors atomic.Int64
+	timeouts    atomic.Int64
+	factAppends atomic.Int64
+	retrievals  atomic.Int64
+}
+
+// New creates a Service with an empty database.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	return &Service{
+		cfg:   cfg,
+		sem:   make(chan struct{}, cfg.Workers),
+		cache: make(map[cacheKey]*cacheEntry),
+		start: time.Now(),
+		lat:   newLatencyRing(cfg.LatencyWindow),
+	}
+}
+
+// QueryRequest asks for the answers to ?- P(Source, Y). Strategy and
+// Mode are the core names ("basic", "single", "multiple", "recurring"
+// / "independent", "integrated"); an empty Strategy selects the
+// method automatically per the query graph's Figure 3 regime, and an
+// empty Mode with an explicit Strategy defaults to "integrated".
+type QueryRequest struct {
+	Source   string `json:"source"`
+	Strategy string `json:"strategy,omitempty"`
+	Mode     string `json:"mode,omitempty"`
+	TimeoutM int64  `json:"timeout_ms,omitempty"`
+}
+
+// QueryResponse is one answered query.
+type QueryResponse struct {
+	Answers []string   `json:"answers"`
+	Stats   core.Stats `json:"stats"`
+	// Strategy and Mode are the method actually run (resolved when
+	// auto-selected).
+	Strategy string `json:"strategy"`
+	Mode     string `json:"mode"`
+	// Auto reports that the method was selected automatically; Regime
+	// and Reason then carry the Figure-3 justification.
+	Auto   bool   `json:"auto"`
+	Regime string `json:"regime,omitempty"`
+	Reason string `json:"reason,omitempty"`
+	// Cached reports a cache hit; NewRetrievals is the tuple
+	// retrievals this request itself caused (zero on a hit; equal to
+	// Stats.Retrievals on a miss).
+	Cached        bool    `json:"cached"`
+	NewRetrievals int64   `json:"new_retrievals"`
+	Generation    uint64  `json:"generation"`
+	ElapsedMS     float64 `json:"elapsed_ms"`
+}
+
+// ParseStrategy resolves a core strategy name.
+func ParseStrategy(s string) (core.Strategy, error) {
+	switch s {
+	case "basic":
+		return core.Basic, nil
+	case "single":
+		return core.Single, nil
+	case "multiple":
+		return core.Multiple, nil
+	case "recurring":
+		return core.Recurring, nil
+	}
+	return 0, fmt.Errorf("%w: unknown strategy %q (want basic, single, multiple, or recurring)", ErrBadRequest, s)
+}
+
+// ParseMode resolves a core mode name.
+func ParseMode(s string) (core.Mode, error) {
+	switch s {
+	case "independent":
+		return core.Independent, nil
+	case "integrated":
+		return core.Integrated, nil
+	}
+	return 0, fmt.Errorf("%w: unknown mode %q (want independent or integrated)", ErrBadRequest, s)
+}
+
+// Query answers req, consulting the result cache first. The run is
+// bounded by ctx, by req.TimeoutM, and by the service default
+// timeout, whichever is tightest, and by a worker-pool slot.
+func (s *Service) Query(ctx context.Context, req QueryRequest) (*QueryResponse, error) {
+	started := time.Now()
+	s.queries.Add(1)
+	resp, err := s.query(ctx, req)
+	elapsed := time.Since(started)
+	s.lat.record(elapsed)
+	if err != nil {
+		s.queryErrors.Add(1)
+		if errors.Is(err, context.DeadlineExceeded) {
+			s.timeouts.Add(1)
+		}
+		return nil, err
+	}
+	resp.ElapsedMS = float64(elapsed.Microseconds()) / 1000
+	return resp, nil
+}
+
+func (s *Service) query(ctx context.Context, req QueryRequest) (*QueryResponse, error) {
+	if req.Source == "" {
+		return nil, fmt.Errorf("%w: empty source", ErrBadRequest)
+	}
+	auto := req.Strategy == ""
+	var strategy core.Strategy
+	var mode core.Mode
+	var err error
+	if !auto {
+		if strategy, err = ParseStrategy(req.Strategy); err != nil {
+			return nil, err
+		}
+		mode = core.Integrated
+		if req.Mode != "" {
+			if mode, err = ParseMode(req.Mode); err != nil {
+				return nil, err
+			}
+		}
+	} else if req.Mode != "" {
+		return nil, fmt.Errorf("%w: mode %q given without a strategy (omit both for automatic selection)", ErrBadRequest, req.Mode)
+	}
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutM > 0 {
+		timeout = time.Duration(req.TimeoutM) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+
+	// Acquire a worker-pool slot; a cancelled wait counts against the
+	// request's own deadline, keeping the pool bounded under overload.
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+
+	key := cacheKey{source: req.Source, strategy: strategy, mode: mode, auto: auto}
+
+	// Snapshot the database under the read lock. The slices are
+	// copy-on-write (AppendFacts replaces them wholesale), so the
+	// solve below runs lock-free on an immutable generation.
+	s.mu.RLock()
+	l, e, r, gen := s.l, s.e, s.r, s.generation
+	entry := s.cache[key]
+	s.mu.RUnlock()
+
+	if entry != nil && entry.generation == gen {
+		s.cacheHits.Add(1)
+		return &QueryResponse{
+			Answers:       entry.result.Answers,
+			Stats:         entry.result.Stats,
+			Strategy:      entry.strategy.String(),
+			Mode:          entry.mode.String(),
+			Auto:          auto,
+			Regime:        entry.regime,
+			Reason:        entry.reason,
+			Cached:        true,
+			NewRetrievals: 0,
+			Generation:    gen,
+		}, nil
+	}
+	s.cacheMisses.Add(1)
+
+	q := core.Query{L: l, E: e, R: r, Source: req.Source}
+	opts := core.Options{Ctx: ctx}
+	regime, reason := "", ""
+	if auto {
+		sel := core.ChooseMethod(q)
+		strategy, mode = sel.Strategy, sel.Mode
+		opts.SCCStep1 = sel.Options.SCCStep1
+		regime, reason = sel.Regime.String(), sel.Reason
+	}
+	res, err := q.SolveMagicCountingOpts(strategy, mode, opts)
+	if err != nil {
+		return nil, err
+	}
+	s.retrievals.Add(res.Stats.Retrievals)
+
+	s.mu.Lock()
+	// Only cache results still current: if AppendFacts bumped the
+	// generation mid-solve, the result reflects the old snapshot and
+	// must not serve future queries.
+	if s.generation == gen {
+		if len(s.cache) >= s.cfg.CacheCap {
+			s.evictOneLocked()
+		}
+		s.cache[key] = &cacheEntry{
+			generation: gen,
+			result:     res,
+			strategy:   strategy,
+			mode:       mode,
+			regime:     regime,
+			reason:     reason,
+		}
+	}
+	s.mu.Unlock()
+
+	return &QueryResponse{
+		Answers:       res.Answers,
+		Stats:         res.Stats,
+		Strategy:      strategy.String(),
+		Mode:          mode.String(),
+		Auto:          auto,
+		Regime:        regime,
+		Reason:        reason,
+		Cached:        false,
+		NewRetrievals: res.Stats.Retrievals,
+		Generation:    gen,
+	}, nil
+}
+
+// evictOneLocked drops one cache entry, preferring a stale one. The
+// cache is small (CacheCap entries) and eviction rare, so the linear
+// scan is cheaper than maintaining an LRU list.
+func (s *Service) evictOneLocked() {
+	var victim *cacheKey
+	for k, e := range s.cache {
+		k := k
+		if e.generation != s.generation {
+			victim = &k
+			break
+		}
+		if victim == nil {
+			victim = &k
+		}
+	}
+	if victim != nil {
+		delete(s.cache, *victim)
+	}
+}
+
+// FactsRequest appends facts to the database relations. Parent is the
+// same-generation convenience: each pair is added to both L and R,
+// and identity E pairs are added for both endpoints — the classic
+// L = R = parent, E = identity instance built incrementally.
+type FactsRequest struct {
+	L      []core.Pair `json:"l,omitempty"`
+	E      []core.Pair `json:"e,omitempty"`
+	R      []core.Pair `json:"r,omitempty"`
+	Parent []core.Pair `json:"parent,omitempty"`
+}
+
+// FactsResponse reports an append.
+type FactsResponse struct {
+	Generation uint64 `json:"generation"`
+	AddedL     int    `json:"added_l"`
+	AddedE     int    `json:"added_e"`
+	AddedR     int    `json:"added_r"`
+}
+
+// AppendFacts appends the request's pairs and bumps the cache
+// generation when anything was added. The fact slices are replaced
+// copy-on-write, so queries already holding the previous snapshot
+// keep evaluating an immutable database.
+func (s *Service) AppendFacts(req FactsRequest) (*FactsResponse, error) {
+	for _, set := range [][]core.Pair{req.L, req.E, req.R, req.Parent} {
+		for _, p := range set {
+			if p.From == "" || p.To == "" {
+				return nil, fmt.Errorf("%w: pair with empty endpoint %+v", ErrBadRequest, p)
+			}
+		}
+	}
+	addL := append([]core.Pair(nil), req.L...)
+	addE := append([]core.Pair(nil), req.E...)
+	addR := append([]core.Pair(nil), req.R...)
+	if len(req.Parent) > 0 {
+		seen := make(map[string]bool)
+		for _, p := range req.Parent {
+			addL = append(addL, p)
+			addR = append(addR, p)
+			for _, x := range [2]string{p.From, p.To} {
+				if !seen[x] {
+					seen[x] = true
+					addE = append(addE, core.Pair{From: x, To: x})
+				}
+			}
+		}
+	}
+	s.factAppends.Add(1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(addL)+len(addE)+len(addR) == 0 {
+		return &FactsResponse{Generation: s.generation}, nil
+	}
+	s.l = appendCOW(s.l, addL)
+	s.e = appendCOW(s.e, addE)
+	s.r = appendCOW(s.r, addR)
+	s.generation++
+	// Stale entries are unreachable (generation mismatch) and would
+	// only occupy cache slots until evicted; drop them now.
+	for k, e := range s.cache {
+		if e.generation != s.generation {
+			delete(s.cache, k)
+		}
+	}
+	return &FactsResponse{
+		Generation: s.generation,
+		AddedL:     len(addL),
+		AddedE:     len(addE),
+		AddedR:     len(addR),
+	}, nil
+}
+
+// appendCOW appends add to base without ever growing base's backing
+// array in place, so slice headers handed out under a previous read
+// lock stay valid snapshots.
+func appendCOW(base, add []core.Pair) []core.Pair {
+	if len(add) == 0 {
+		return base
+	}
+	out := make([]core.Pair, 0, len(base)+len(add))
+	out = append(out, base...)
+	return append(out, add...)
+}
+
+// Stats is a point-in-time snapshot of the service counters.
+type Stats struct {
+	UptimeSeconds   float64 `json:"uptime_seconds"`
+	Generation      uint64  `json:"generation"`
+	FactsL          int     `json:"facts_l"`
+	FactsE          int     `json:"facts_e"`
+	FactsR          int     `json:"facts_r"`
+	Queries         int64   `json:"queries"`
+	CacheHits       int64   `json:"cache_hits"`
+	CacheMisses     int64   `json:"cache_misses"`
+	CacheEntries    int     `json:"cache_entries"`
+	QueryErrors     int64   `json:"query_errors"`
+	QueryTimeouts   int64   `json:"query_timeouts"`
+	FactAppends     int64   `json:"fact_appends"`
+	TupleRetrievals int64   `json:"tuple_retrievals"`
+	Workers         int     `json:"workers"`
+	InFlight        int     `json:"in_flight"`
+	LatencyP50MS    float64 `json:"latency_p50_ms"`
+	LatencyP99MS    float64 `json:"latency_p99_ms"`
+}
+
+// Stats snapshots the counters.
+func (s *Service) Stats() Stats {
+	s.mu.RLock()
+	gen := s.generation
+	fl, fe, fr := len(s.l), len(s.e), len(s.r)
+	entries := len(s.cache)
+	s.mu.RUnlock()
+	p50, p99 := s.lat.percentile(0.50), s.lat.percentile(0.99)
+	return Stats{
+		UptimeSeconds:   time.Since(s.start).Seconds(),
+		Generation:      gen,
+		FactsL:          fl,
+		FactsE:          fe,
+		FactsR:          fr,
+		Queries:         s.queries.Load(),
+		CacheHits:       s.cacheHits.Load(),
+		CacheMisses:     s.cacheMisses.Load(),
+		CacheEntries:    entries,
+		QueryErrors:     s.queryErrors.Load(),
+		QueryTimeouts:   s.timeouts.Load(),
+		FactAppends:     s.factAppends.Load(),
+		TupleRetrievals: s.retrievals.Load(),
+		Workers:         s.cfg.Workers,
+		InFlight:        len(s.sem),
+		LatencyP50MS:    float64(p50.Microseconds()) / 1000,
+		LatencyP99MS:    float64(p99.Microseconds()) / 1000,
+	}
+}

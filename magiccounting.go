@@ -103,3 +103,24 @@ func VerifyProof(q Query, p *Proof) error { return core.VerifyProof(q, p) }
 func SolveWithReducedSets(q Query, rs *ReducedSets, mode Mode) (*Result, error) {
 	return core.SolveWithReducedSets(q, rs, mode)
 }
+
+// Regime is the database regime of Figure 3: regular, acyclic, or
+// cyclic, as determined by the magic graph reachable from the source.
+type Regime = core.Regime
+
+// Selection is an automatically chosen method with its justification.
+type Selection = core.Selection
+
+// The three Figure 3 regimes.
+const (
+	RegimeRegular = core.RegimeRegular
+	RegimeAcyclic = core.RegimeAcyclic
+	RegimeCyclic  = core.RegimeCyclic
+)
+
+// ChooseMethod picks the magic counting method Figure 3's efficiency
+// hierarchy ranks best for the query's regime. Queries also support
+// cancellation: q.SolveMagicCountingCtx(ctx, strategy, mode) (or
+// Options.Ctx) stops a run promptly when ctx is done, and internal/
+// server plus cmd/mcserved build a concurrent query service on top.
+func ChooseMethod(q Query) Selection { return core.ChooseMethod(q) }
