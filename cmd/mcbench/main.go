@@ -9,6 +9,8 @@
 //	mcbench -sizes 32,64,128      # a custom sweep
 //	mcbench -o results.txt        # write to a file
 //	mcbench -json                 # also write BENCH_<timestamp>.json
+//	mcbench -json -micro          # include ns/op + allocs/op micro benchmarks
+//	mcbench -compare BENCH_x.json # regression-check against a baseline
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 	"strings"
 	"time"
 
+	"magiccounting/internal/bench"
 	"magiccounting/internal/harness"
 )
 
@@ -38,10 +41,26 @@ func run(args []string, stdout io.Writer) error {
 	outPath := fs.String("o", "", "write results to this file instead of stdout")
 	format := fs.String("format", "text", "output format: text or json")
 	jsonOut := fs.Bool("json", false, "also write BENCH_<timestamp>.json with per-experiment wall times")
+	micro := fs.Bool("micro", false, "measure the micro benchmarks (ns/op, allocs/op) into the -json record")
+	comparePath := fs.String("compare", "", "baseline BENCH_*.json: fail on retrieval-count drift or micro ns/op regressions beyond -tolerance")
+	tolerance := fs.Float64("tolerance", 0.15, "allowed fractional micro ns/op regression for -compare")
+	benchRounds := fs.Int("benchrounds", 3, "micro benchmark repetitions; the fastest round is recorded")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	var baseline *benchFile
+	if *comparePath != "" {
+		bf, err := readBenchJSON(*comparePath)
+		if err != nil {
+			return err
+		}
+		baseline = bf
+	}
 	sizes := harness.DefaultSizes
+	if baseline != nil {
+		// Compare like with like: reproduce the baseline's sweep.
+		sizes = baseline.Sizes
+	}
 	if *sizesFlag != "" {
 		sizes = nil
 		for _, s := range strings.Split(*sizesFlag, ",") {
@@ -79,12 +98,22 @@ func run(args []string, stdout io.Writer) error {
 		wall = append(wall, time.Since(start))
 		tables = append(tables, t)
 	}
+	var micros []bench.Micro
+	if *micro || (baseline != nil && len(baseline.Micro) > 0) {
+		micros = bench.Run(*benchRounds)
+	}
 	if *jsonOut {
-		path, err := writeBenchJSON(".", sizes, tables, wall)
+		path, err := writeBenchJSON(".", sizes, tables, wall, micros)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "wrote %s\n", path)
+	}
+	if baseline != nil {
+		if err := compareBaseline(baseline, tables, micros, *tolerance, out); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "compare: OK against %s\n", *comparePath)
 	}
 	switch *format {
 	case "text":
@@ -117,13 +146,14 @@ type benchFile struct {
 	Timestamp   string            `json:"timestamp"`
 	Sizes       []int             `json:"sizes"`
 	Experiments []benchExperiment `json:"experiments"`
+	Micro       []bench.Micro     `json:"micro,omitempty"`
 }
 
 // writeBenchJSON writes the benchmark record into dir and returns the
 // file's path.
-func writeBenchJSON(dir string, sizes []int, tables []*harness.Table, wall []time.Duration) (string, error) {
+func writeBenchJSON(dir string, sizes []int, tables []*harness.Table, wall []time.Duration, micros []bench.Micro) (string, error) {
 	now := time.Now()
-	bf := benchFile{Timestamp: now.Format(time.RFC3339), Sizes: sizes}
+	bf := benchFile{Timestamp: now.Format(time.RFC3339), Sizes: sizes, Micro: micros}
 	for i, t := range tables {
 		bf.Experiments = append(bf.Experiments, benchExperiment{
 			ID:     t.ID,
@@ -146,4 +176,78 @@ func writeBenchJSON(dir string, sizes []int, tables []*harness.Table, wall []tim
 		return "", err
 	}
 	return path, f.Close()
+}
+
+// readBenchJSON loads a BENCH_*.json baseline.
+func readBenchJSON(path string) (*benchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var bf benchFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return &bf, nil
+}
+
+// compareBaseline checks the current run against a baseline record.
+// Retrieval-count cells are deterministic, so any drift in an
+// experiment shared with the baseline is an error. Micro ns/op and
+// allocs/op are timing-dependent: they may regress by at most the
+// given fractional tolerance. All violations are reported, not just
+// the first.
+func compareBaseline(baseline *benchFile, tables []*harness.Table, micros []bench.Micro, tolerance float64, out io.Writer) error {
+	current := make(map[string]*harness.Table, len(tables))
+	for _, t := range tables {
+		current[t.ID] = t
+	}
+	var violations []string
+	for _, be := range baseline.Experiments {
+		t, ok := current[be.ID]
+		if !ok {
+			continue // baseline has experiments this invocation did not run
+		}
+		if len(be.Rows) != len(t.Rows) {
+			violations = append(violations, fmt.Sprintf("%s: %d rows, baseline has %d", be.ID, len(t.Rows), len(be.Rows)))
+			continue
+		}
+		for i := range be.Rows {
+			for j := range be.Rows[i] {
+				if j < len(t.Rows[i]) && be.Rows[i][j] != t.Rows[i][j] {
+					violations = append(violations,
+						fmt.Sprintf("%s row %d col %d: %q, baseline %q (retrieval counts are deterministic — this is a behavior change)",
+							be.ID, i, j, t.Rows[i][j], be.Rows[i][j]))
+				}
+			}
+		}
+	}
+	cur := make(map[string]bench.Micro, len(micros))
+	for _, m := range micros {
+		cur[m.Name] = m
+	}
+	for _, base := range baseline.Micro {
+		m, ok := cur[base.Name]
+		if !ok {
+			violations = append(violations, fmt.Sprintf("micro %s: present in baseline, not measured", base.Name))
+			continue
+		}
+		if base.NsPerOp > 0 && m.NsPerOp > base.NsPerOp*(1+tolerance) {
+			violations = append(violations, fmt.Sprintf("micro %s: %.1f ns/op, baseline %.1f (>%.0f%% regression)",
+				base.Name, m.NsPerOp, base.NsPerOp, tolerance*100))
+		} else {
+			fmt.Fprintf(out, "compare: %s %.1f ns/op vs baseline %.1f\n", base.Name, m.NsPerOp, base.NsPerOp)
+		}
+		if float64(m.AllocsPerOp) > float64(base.AllocsPerOp)*(1+tolerance)+0.5 {
+			violations = append(violations, fmt.Sprintf("micro %s: %d allocs/op, baseline %d",
+				base.Name, m.AllocsPerOp, base.AllocsPerOp))
+		}
+	}
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(out, "REGRESSION:", v)
+		}
+		return fmt.Errorf("%d regression(s) against baseline", len(violations))
+	}
+	return nil
 }

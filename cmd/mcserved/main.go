@@ -7,6 +7,7 @@
 //
 //	mcserved                       # listen on :8377
 //	mcserved -addr :9000 -workers 8 -timeout 5s
+//	mcserved -debug-addr :6060     # also serve net/http/pprof there
 //
 // API (JSON unless noted):
 //
@@ -29,6 +30,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -52,6 +54,7 @@ func run(args []string, stdout io.Writer, ready chan<- net.Addr) error {
 	workers := fs.Int("workers", 0, "solver worker-pool size (0 = GOMAXPROCS)")
 	timeout := fs.Duration("timeout", 30*time.Second, "default per-query timeout")
 	cacheCap := fs.Int("cache", 1024, "result-cache capacity (entries)")
+	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof on this address (disabled when empty; keep it off public interfaces)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -67,6 +70,24 @@ func run(args []string, stdout io.Writer, ready chan<- net.Addr) error {
 	srv := &http.Server{
 		Handler:           server.NewHandler(svc),
 		ReadHeaderTimeout: 5 * time.Second,
+	}
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		// A dedicated mux so the profiling endpoints never leak onto
+		// the service listener (and vice versa).
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		debugSrv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+		fmt.Fprintf(stdout, "mcserved: pprof on %s/debug/pprof/\n", dln.Addr())
+		go debugSrv.Serve(dln)
 	}
 	fmt.Fprintf(stdout, "mcserved: listening on %s\n", ln.Addr())
 	if ready != nil {
@@ -86,6 +107,9 @@ func run(args []string, stdout io.Writer, ready chan<- net.Addr) error {
 		fmt.Fprintf(stdout, "mcserved: %v, shutting down\n", sig)
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
+		if debugSrv != nil {
+			debugSrv.Shutdown(ctx)
+		}
 		return srv.Shutdown(ctx)
 	}
 }

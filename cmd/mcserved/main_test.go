@@ -76,3 +76,59 @@ func TestBadFlags(t *testing.T) {
 		t.Fatal("expected flag error")
 	}
 }
+
+// TestDebugAddrServesPprof boots with -debug-addr and checks the
+// profiling index answers there while staying off the service mux.
+func TestDebugAddrServesPprof(t *testing.T) {
+	var out bytes.Buffer
+	ready := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-debug-addr", "127.0.0.1:0"}, &out, ready)
+	}()
+	var addr net.Addr
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("server exited early: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	// The pprof line is printed before the ready signal.
+	line := out.String()
+	i := strings.Index(line, "pprof on ")
+	if i < 0 {
+		t.Fatalf("no pprof line in output: %q", line)
+	}
+	debugURL := "http://" + strings.TrimSpace(strings.TrimSuffix(line[i+len("pprof on "):strings.Index(line[i:], "\n")+i], "/debug/pprof/"))
+
+	resp, err := http.Get(debugURL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index: status %d", resp.StatusCode)
+	}
+	// The service listener must not expose the profiler.
+	resp, err = http.Get(fmt.Sprintf("http://%s/debug/pprof/", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("service listener should not serve pprof")
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+}

@@ -513,16 +513,7 @@ func TestCheckReducedSetsDetectsViolations(t *testing.T) {
 		t.Fatal("fixture node h missing")
 	}
 	for j := range rs2.RC.levels {
-		if rs2.RC.member[j][hID] {
-			delete(rs2.RC.member[j], hID)
-			var kept []int32
-			for _, v := range rs2.RC.levels[j] {
-				if v != hID {
-					kept = append(kept, v)
-				}
-			}
-			rs2.RC.levels[j] = kept
-			rs2.RC.pairs--
+		if rs2.RC.remove(j, hID) {
 			break
 		}
 	}

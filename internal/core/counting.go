@@ -1,10 +1,11 @@
 package core
 
+import "slices"
+
 // levelSet is a counting-style relation: levels[j] holds the node ids
-// with index j, deduplicated per level.
+// with index j, deduplicated per level by a denseSet.
 type levelSet struct {
-	levels [][]int32
-	member []map[int32]bool // per-level membership, parallel to levels
+	levels []denseSet
 	pairs  int
 }
 
@@ -13,21 +14,28 @@ func newLevelSet() *levelSet { return &levelSet{} }
 // add inserts (j, v) and reports whether it was new.
 func (s *levelSet) add(j int, v int32) bool {
 	for len(s.levels) <= j {
-		s.levels = append(s.levels, nil)
-		s.member = append(s.member, make(map[int32]bool))
+		s.levels = append(s.levels, denseSet{})
 	}
-	if s.member[j][v] {
+	if !s.levels[j].add(v) {
 		return false
 	}
-	s.member[j][v] = true
-	s.levels[j] = append(s.levels[j], v)
 	s.pairs++
 	return true
 }
 
 // has reports whether (j, v) is present.
 func (s *levelSet) has(j int, v int32) bool {
-	return j >= 0 && j < len(s.levels) && s.member[j][v]
+	return j >= 0 && j < len(s.levels) && s.levels[j].has(v)
+}
+
+// remove deletes (j, v) if present, reporting whether it was there.
+// Only the theorem-boundary tests mutate reduced sets this way.
+func (s *levelSet) remove(j int, v int32) bool {
+	if j < 0 || j >= len(s.levels) || !s.levels[j].remove(v) {
+		return false
+	}
+	s.pairs--
+	return true
 }
 
 // at returns the nodes with index j (nil when out of range).
@@ -35,13 +43,13 @@ func (s *levelSet) at(j int) []int32 {
 	if j < 0 || j >= len(s.levels) {
 		return nil
 	}
-	return s.levels[j]
+	return s.levels[j].members()
 }
 
 // maxLevel returns the highest populated index, or -1 when empty.
 func (s *levelSet) maxLevel() int {
 	for j := len(s.levels) - 1; j >= 0; j-- {
-		if len(s.levels[j]) > 0 {
+		if s.levels[j].size() > 0 {
 			return j
 		}
 	}
@@ -68,12 +76,9 @@ func (in *instance) countingSets() (*levelSet, int, error) {
 		if j+1 > n {
 			return nil, iterations, ErrUnsafe
 		}
-		for _, x := range cs.at(j) {
-			in.charge(1 + int64(len(in.lOut[x]))) // semijoin CS ⋉ L
-			for _, x1 := range in.lOut[x] {
-				cs.add(j+1, x1)
-			}
-		}
+		// Semijoin CS ⋉ L over the frontier, sharded when workers are
+		// configured; each node costs 1 + len(lOut[x]).
+		in.expandLevel(cs, cs.at(j), in.lOut, j+1)
 	}
 	return cs, iterations, nil
 }
@@ -83,12 +88,7 @@ func (in *instance) countingSets() (*levelSet, int, error) {
 //	P_C(J, Y) :- seed(J, X), E(X, Y).
 func (in *instance) seedExit(pc, seed *levelSet) {
 	for j := 0; j < len(seed.levels) && !in.stopped(); j++ {
-		for _, x := range seed.at(j) {
-			in.charge(1 + int64(len(in.eOut[x])))
-			for _, y := range in.eOut[x] {
-				pc.add(j, y)
-			}
-		}
+		in.expandLevel(pc, seed.at(j), in.eOut, j)
 	}
 }
 
@@ -98,27 +98,22 @@ func (in *instance) seedExit(pc, seed *levelSet) {
 //	Answer(Y)   :- P_C(0, Y).
 //
 // returning the answer node set and one iteration tick per level.
-func (in *instance) descend(pc *levelSet) (map[int32]bool, int) {
+func (in *instance) descend(pc *levelSet) (*denseSet, int) {
 	iterations := 0
 	for j := pc.maxLevel(); j >= 1 && !in.stopped(); j-- {
 		iterations++
-		for _, y1 := range pc.at(j) {
-			in.charge(1 + int64(len(in.rOut[y1])))
-			for _, y := range in.rOut[y1] {
-				pc.add(j-1, y)
-			}
-		}
+		in.expandLevel(pc, pc.at(j), in.rOut, j-1)
 	}
-	answers := make(map[int32]bool)
+	answers := &denseSet{}
 	for _, y := range pc.at(0) {
-		answers[y] = true
+		answers.add(y)
 	}
 	return answers, iterations
 }
 
 // countingDescent runs the modified rules of the counting method
 // (§2, rules 3–5) from a seed counting set.
-func (in *instance) countingDescent(seed *levelSet) (map[int32]bool, int) {
+func (in *instance) countingDescent(seed *levelSet) (*denseSet, int) {
 	pc := newLevelSet()
 	in.seedExit(pc, seed)
 	return in.descend(pc)
@@ -129,7 +124,14 @@ func (in *instance) countingDescent(seed *levelSet) (map[int32]bool, int) {
 // cyclic; Table 1's other rows cost Θ(m_L + n_L·m_R) on regular
 // graphs and Θ(n_L·m_L + n_L·m_R) on acyclic non-regular ones.
 func (q Query) SolveCounting() (*Result, error) {
+	return q.SolveCountingOpts(Options{})
+}
+
+// SolveCountingOpts is SolveCounting with explicit options (context
+// cancellation, worker pool for the frontier rounds).
+func (q Query) SolveCountingOpts(opts Options) (*Result, error) {
 	in := build(q)
+	in.configure(opts)
 	cs, iter, err := in.countingSets()
 	if err != nil {
 		return nil, err
@@ -154,7 +156,13 @@ func (q Query) SolveCounting() (*Result, error) {
 // reproduce the paper's claim that even safe counting variants lose
 // to magic counting on cyclic data.
 func (q Query) SolveCountingCyclic() (*Result, error) {
+	return q.SolveCountingCyclicOpts(Options{})
+}
+
+// SolveCountingCyclicOpts is SolveCountingCyclic with explicit options.
+func (q Query) SolveCountingCyclicOpts(opts Options) (*Result, error) {
 	in := build(q)
+	in.configure(opts)
 	n := len(in.lNames)
 	bound := 2*n - 1
 	cs := newLevelSet()
@@ -162,12 +170,7 @@ func (q Query) SolveCountingCyclic() (*Result, error) {
 	iterations := 0
 	for j := 0; j < bound && len(cs.at(j)) > 0; j++ {
 		iterations++
-		for _, x := range cs.at(j) {
-			in.charge(1 + int64(len(in.lOut[x])))
-			for _, x1 := range in.lOut[x] {
-				cs.add(j+1, x1)
-			}
-		}
+		in.expandLevel(cs, cs.at(j), in.lOut, j+1)
 	}
 	// The bounded descent covers every answer whose E-crossing node is
 	// single or multiple: their index sets lie entirely below n.
@@ -176,21 +179,18 @@ func (q Query) SolveCountingCyclic() (*Result, error) {
 	// index sets are infinite, so no bounded counting pass can cover
 	// them. Close the gap with a magic-style sweep whose exit rule is
 	// seeded only from the recurring nodes, preserving safety.
-	rec := make(map[int32]bool)
+	rec := &denseSet{}
 	for j := n; j < len(cs.levels); j++ {
 		for _, v := range cs.at(j) {
-			rec[v] = true
+			rec.add(v)
 		}
 	}
-	if len(rec) > 0 {
-		exit := make([]int32, 0, len(rec))
-		for v := range rec {
-			exit = append(exit, v)
-		}
-		sortInt32(exit)
+	if rec.size() > 0 {
+		exit := append([]int32(nil), rec.members()...)
+		slices.Sort(exit)
 		pm, mIter := in.magicPairs(exit, in.reachableSet(), nil)
-		for y := range pm.bySource(in.src) {
-			answers[y] = true
+		for _, y := range pm.bySource(in.src) {
+			answers.add(y)
 		}
 		dIter += mIter
 	}
@@ -202,12 +202,4 @@ func (q Query) SolveCountingCyclic() (*Result, error) {
 			CountingSetSize: cs.pairs,
 		},
 	}, nil
-}
-
-func sortInt32(xs []int32) {
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
-			xs[j], xs[j-1] = xs[j-1], xs[j]
-		}
-	}
 }

@@ -1,0 +1,84 @@
+package core
+
+// denseSet is an insert-ordered set of non-negative int32 ids — the
+// membership structure behind counting levels, P_M rows, and answer
+// sets. Node ids are dense (assigned by interning), so membership is
+// a bitset probe; the insertion-order list makes iteration cheap and
+// deterministic. Small sets skip the bitset entirely: most counting
+// levels hold a handful of nodes, and a linear scan of ≤16 ints beats
+// any hashing. The zero value is an empty set.
+type denseSet struct {
+	list []int32  // members in insertion order
+	bits []uint64 // membership bitmap, built once the list outgrows denseSmall
+}
+
+// denseSmall is the list length up to which membership is a linear
+// scan and no bitset is maintained.
+const denseSmall = 16
+
+// has reports whether v is a member.
+func (s *denseSet) has(v int32) bool {
+	if s.bits != nil {
+		w := int(v >> 6)
+		return w < len(s.bits) && s.bits[w]&(1<<(uint(v)&63)) != 0
+	}
+	for _, x := range s.list {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *denseSet) setBit(v int32) {
+	w := int(v >> 6)
+	for len(s.bits) <= w {
+		s.bits = append(s.bits, 0)
+	}
+	s.bits[w] |= 1 << (uint(v) & 63)
+}
+
+// add inserts v, reporting whether it was absent.
+func (s *denseSet) add(v int32) bool {
+	if s.has(v) {
+		return false
+	}
+	s.list = append(s.list, v)
+	if s.bits == nil {
+		if len(s.list) > denseSmall {
+			for _, x := range s.list {
+				s.setBit(x)
+			}
+		}
+	} else {
+		s.setBit(v)
+	}
+	return true
+}
+
+// remove deletes v if present, preserving the order of the remaining
+// members. It exists for the reduced-set surgery the theorem-boundary
+// tests perform, not for any hot path.
+func (s *denseSet) remove(v int32) bool {
+	if !s.has(v) {
+		return false
+	}
+	for i, x := range s.list {
+		if x == v {
+			s.list = append(s.list[:i], s.list[i+1:]...)
+			break
+		}
+	}
+	if s.bits != nil {
+		s.bits[v>>6] &^= 1 << (uint(v) & 63)
+	}
+	return true
+}
+
+// members returns the set in insertion order. The slice is the set's
+// own storage: callers must not mutate it, and adds during iteration
+// are visible to the iterating loop.
+func (s *denseSet) members() []int32 { return s.list }
+
+// size returns the number of members.
+func (s *denseSet) size() int { return len(s.list) }

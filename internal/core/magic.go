@@ -29,29 +29,24 @@ func (in *instance) reachableSet() []bool {
 // pairSet stores the derived relation P_M as per-source sets of
 // R-nodes.
 type pairSet struct {
-	byX   []map[int32]bool // indexed by L-node id
+	byX   []denseSet // indexed by L-node id
 	count int
 }
 
-func newPairSet(nL int) *pairSet { return &pairSet{byX: make([]map[int32]bool, nL)} }
+func newPairSet(nL int) *pairSet { return &pairSet{byX: make([]denseSet, nL)} }
 
 // add inserts (x, y) and reports whether it was new.
 func (p *pairSet) add(x, y int32) bool {
-	m := p.byX[x]
-	if m == nil {
-		m = make(map[int32]bool)
-		p.byX[x] = m
-	}
-	if m[y] {
+	if !p.byX[x].add(y) {
 		return false
 	}
-	m[y] = true
 	p.count++
 	return true
 }
 
-// bySource returns the R-node set paired with x (may be nil).
-func (p *pairSet) bySource(x int32) map[int32]bool { return p.byX[x] }
+// bySource returns the R-nodes paired with x, in derivation order
+// (nil when x has none).
+func (p *pairSet) bySource(x int32) []int32 { return p.byX[x].members() }
 
 // magicPairs evaluates the modified rules of the magic set method
 // seminaively:
@@ -132,9 +127,9 @@ func (q Query) SolveMagic() (*Result, error) {
 		}
 	}
 	pm, iter := in.magicPairs(exit, ms, nil)
-	answers := make(map[int32]bool)
-	for y := range pm.bySource(in.src) {
-		answers[y] = true
+	answers := &denseSet{}
+	for _, y := range pm.bySource(in.src) {
+		answers.add(y)
 	}
 	return &Result{
 		Answers: in.answerNames(answers),
@@ -181,9 +176,9 @@ func (q Query) SolveNaive() (*Result, error) {
 			}
 		}
 	}
-	answers := make(map[int32]bool)
-	for y := range p.bySource(in.src) {
-		answers[y] = true
+	answers := &denseSet{}
+	for _, y := range p.bySource(in.src) {
+		answers.add(y)
 	}
 	return &Result{
 		Answers: in.answerNames(answers),

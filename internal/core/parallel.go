@@ -1,0 +1,107 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// defaultParallelThreshold is the frontier size below which a round
+// runs sequentially even when workers are available: sharding a
+// handful of nodes costs more in goroutine handoff than it saves.
+const defaultParallelThreshold = 128
+
+// shardRange splits n items into k contiguous shards and returns the
+// bounds of shard s. Remainder items go to the leading shards, so
+// sizes differ by at most one.
+func shardRange(n, k, s int) (lo, hi int) {
+	q, r := n/k, n%k
+	lo = s*q + min(s, r)
+	hi = lo + q
+	if s < r {
+		hi++
+	}
+	return lo, hi
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// resolveWorkers normalizes an Options.Workers value: 0 means
+// sequential, negative means one worker per CPU.
+func resolveWorkers(w int) int {
+	if w < 0 {
+		return runtime.NumCPU()
+	}
+	return w
+}
+
+// expandLevel is one frontier round of a counting-style fixpoint:
+// for every node x of frontier, charge 1 + len(adj[x]) retrievals
+// (the semijoin probe plus the produced arcs) and insert adj[x] into
+// level toLevel of dest. With workers, the frontier is sharded: each
+// worker sums its charges and collects the successors that a
+// read-only probe does not already find in the target level, and the
+// merge applies shard outputs in shard order. The merged charge total
+// and the resulting level contents — including their order — are
+// exactly those of the sequential loop, because per-node charges are
+// position-independent and the merge re-runs the same deduplicating
+// adds in the same sequence. No retrieval is charged for dedup probes
+// here, matching the sequential accounting.
+func (in *instance) expandLevel(dest *levelSet, frontier []int32, adj [][]int32, toLevel int) {
+	w := in.workers
+	if w > 1 {
+		t := in.parThreshold
+		if t <= 0 {
+			t = defaultParallelThreshold
+		}
+		if w > len(frontier)/t {
+			w = len(frontier) / t
+		}
+	}
+	if w <= 1 {
+		for _, x := range frontier {
+			in.charge(1 + int64(len(adj[x])))
+			for _, v := range adj[x] {
+				dest.add(toLevel, v)
+			}
+		}
+		return
+	}
+	type shardOut struct {
+		charge int64
+		cand   []int32
+		_      [40]byte // pad to a cache line so shards don't false-share
+	}
+	outs := make([]shardOut, w)
+	var wg sync.WaitGroup
+	for s := 0; s < w; s++ {
+		lo, hi := shardRange(len(frontier), w, s)
+		wg.Add(1)
+		go func(o *shardOut, shard []int32) {
+			defer wg.Done()
+			for _, x := range shard {
+				o.charge += 1 + int64(len(adj[x]))
+				for _, v := range adj[x] {
+					// Read-only pre-filter against the state all
+					// workers see (no add runs during this phase):
+					// drops the bulk of the duplicates off the
+					// single-threaded merge.
+					if !dest.has(toLevel, v) {
+						o.cand = append(o.cand, v)
+					}
+				}
+			}
+		}(&outs[s], frontier[lo:hi])
+	}
+	wg.Wait()
+	for s := range outs {
+		in.charge(outs[s].charge)
+		for _, v := range outs[s].cand {
+			dest.add(toLevel, v)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// parWorkloads builds one query per magic-graph regime: regular (a
+// tree), acyclic non-regular (a chain with shortcuts), and cyclic (a
+// cycle with a tail), each with enough R-structure for a non-trivial
+// descent.
+func parWorkloads() map[string]Query {
+	tree := Query{Source: nodeName(0)}
+	next := 1
+	frontier := []int{0}
+	for d := 0; d < 6; d++ {
+		var produced []int
+		for _, p := range frontier {
+			for c := 0; c < 2; c++ {
+				tree.L = append(tree.L, P(nodeName(p), nodeName(next)))
+				produced = append(produced, next)
+				next++
+			}
+		}
+		frontier = produced
+	}
+	shortcut := Query{Source: nodeName(0)}
+	for i := 0; i < 120; i++ {
+		shortcut.L = append(shortcut.L, P(nodeName(i), nodeName(i+1)))
+		if i%3 == 0 && i+2 <= 120 {
+			shortcut.L = append(shortcut.L, P(nodeName(i), nodeName(i+2)))
+		}
+	}
+	cyc := Query{Source: nodeName(0)}
+	for i := 0; i < 90; i++ {
+		cyc.L = append(cyc.L, P(nodeName(i), nodeName((i+1)%90)))
+	}
+	out := make(map[string]Query)
+	for name, q := range map[string]Query{"regular": tree, "acyclic": shortcut, "cyclic": cyc} {
+		// Every L-node is its own generation peer and the R side is the
+		// reversed L relation, so the descent has real work to do.
+		for _, p := range q.L {
+			q.E = append(q.E, P(p.From, p.From), P(p.To, p.To))
+			q.R = append(q.R, P(p.To, p.From))
+		}
+		out[name] = q
+	}
+	return out
+}
+
+// parOpts forces sharding on every frontier: 8 workers with a
+// threshold of 1 exercises the parallel path even on one-node levels.
+var parOpts = Options{Workers: 8, ParallelThreshold: 1}
+
+// Parallel frontier evaluation must be unobservable in the Result:
+// same answers, same retrievals, same iterations, same set sizes.
+func TestParallelSolversMatchSequential(t *testing.T) {
+	for name, q := range parWorkloads() {
+		t.Run(name, func(t *testing.T) {
+			if name != "cyclic" {
+				seq, err := q.SolveCounting()
+				if err != nil {
+					t.Fatal(err)
+				}
+				par, err := q.SolveCountingOpts(parOpts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(seq, par) {
+					t.Errorf("counting: sequential %+v, parallel %+v", seq, par)
+				}
+			}
+			seqC, err := q.SolveCountingCyclic()
+			if err != nil {
+				t.Fatal(err)
+			}
+			parC, err := q.SolveCountingCyclicOpts(parOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(seqC, parC) {
+				t.Errorf("counting cyclic: sequential %+v, parallel %+v", seqC, parC)
+			}
+			for _, spec := range allMagicCountingSpecs() {
+				seq, err := q.SolveMagicCounting(spec.Strategy, spec.Mode)
+				if err != nil {
+					t.Fatal(err)
+				}
+				opts := parOpts
+				par, err := q.SolveMagicCountingOpts(spec.Strategy, spec.Mode, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(seq, par) {
+					t.Errorf("%v/%v: sequential %+v, parallel %+v", spec.Strategy, spec.Mode, seq, par)
+				}
+			}
+		})
+	}
+}
+
+// The same equivalence on random queries, as a property.
+func TestParallelMatchesSequentialProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := randomQuery(rng)
+		for _, spec := range allMagicCountingSpecs() {
+			seq, err1 := q.SolveMagicCounting(spec.Strategy, spec.Mode)
+			par, err2 := q.SolveMagicCountingOpts(spec.Strategy, spec.Mode, parOpts)
+			if (err1 == nil) != (err2 == nil) {
+				t.Logf("seed %d %v/%v: err %v vs %v", seed, spec.Strategy, spec.Mode, err1, err2)
+				return false
+			}
+			if err1 == nil && !reflect.DeepEqual(seq, par) {
+				t.Logf("seed %d %v/%v: %+v vs %+v", seed, spec.Strategy, spec.Mode, seq, par)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShardRangeCoversAll(t *testing.T) {
+	for n := 0; n < 40; n++ {
+		for k := 1; k < 9; k++ {
+			covered := 0
+			prevHi := 0
+			for s := 0; s < k; s++ {
+				lo, hi := shardRange(n, k, s)
+				if lo != prevHi {
+					t.Fatalf("n=%d k=%d s=%d: gap, lo %d after hi %d", n, k, s, lo, prevHi)
+				}
+				covered += hi - lo
+				prevHi = hi
+			}
+			if covered != n || prevHi != n {
+				t.Fatalf("n=%d k=%d: covered %d, end %d", n, k, covered, prevHi)
+			}
+		}
+	}
+}

@@ -88,6 +88,9 @@ type instance struct {
 
 	retrievals int64 // tuple retrievals charged so far
 
+	workers      int // frontier workers; <= 1 means sequential
+	parThreshold int // min frontier size for a parallel round
+
 	ctx       context.Context // nil when cancellation is disabled
 	ctxStride int64           // charges since the last deadline poll
 	ctxErr    error           // sticky ctx.Err(), set once observed
@@ -107,6 +110,17 @@ func (in *instance) setContext(ctx context.Context) {
 		return
 	}
 	in.ctx = ctx
+}
+
+// configure applies run options: cancellation context and the frontier
+// worker pool.
+func (in *instance) configure(opts Options) {
+	in.setContext(opts.Ctx)
+	in.workers = resolveWorkers(opts.Workers)
+	in.parThreshold = opts.ParallelThreshold
+	if in.parThreshold <= 0 {
+		in.parThreshold = defaultParallelThreshold
+	}
 }
 
 // stopped reports whether the run's context has been observed as
@@ -213,10 +227,11 @@ func (in *instance) lGraph() *graph.Digraph {
 	return g
 }
 
-// answerNames maps a set of R-node ids to sorted constant names.
-func (in *instance) answerNames(set map[int32]bool) []string {
-	out := make([]string, 0, len(set))
-	for id := range set {
+// answerNames maps an answer node set to constant names, sorted once
+// here at result construction.
+func (in *instance) answerNames(set *denseSet) []string {
+	out := make([]string, 0, set.size())
+	for _, id := range set.members() {
 		out = append(out, in.rNames[id])
 	}
 	sort.Strings(out)

@@ -319,23 +319,23 @@ func (in *instance) step1Multiple(integrated bool) *ReducedSets {
 func (in *instance) step1RecurringNaive(integrated bool) *ReducedSets {
 	cs := newLevelSet()
 	cs.add(0, in.src)
-	seen := make(map[int32]bool)
-	seen[in.src] = true
+	seen := &denseSet{}
+	seen.add(in.src)
 	iterations := 0
-	for j := 0; len(cs.at(j)) > 0 && j < 2*len(seen)-1 && !in.stopped(); j++ {
+	for j := 0; len(cs.at(j)) > 0 && j < 2*seen.size()-1 && !in.stopped(); j++ {
 		iterations++
 		for _, x := range cs.at(j) {
 			in.charge(1 + int64(len(in.lOut[x])))
 			for _, x1 := range in.lOut[x] {
 				in.charge(1) // level dedup probe
 				if cs.add(j+1, x1) {
-					seen[x1] = true
+					seen.add(x1)
 				}
 			}
 		}
 	}
 	n := len(in.lNames)
-	k := len(seen)
+	k := seen.size()
 	rs := &ReducedSets{
 		MS:         make([]bool, n),
 		RM:         make([]bool, n),
@@ -343,7 +343,7 @@ func (in *instance) step1RecurringNaive(integrated bool) *ReducedSets {
 		Regular:    true,
 		Iterations: iterations,
 	}
-	for v := range seen {
+	for _, v := range seen.members() {
 		rs.MS[v] = true
 	}
 	// RM(Y) :- CS(I, Y), I >= K.
@@ -359,7 +359,7 @@ func (in *instance) step1RecurringNaive(integrated bool) *ReducedSets {
 			}
 		}
 	}
-	for v := range seen {
+	for _, v := range seen.members() {
 		if rs.RM[v] || len(multiIndices(cs, v)) > 1 {
 			rs.Regular = false
 			break
@@ -375,7 +375,7 @@ func (in *instance) step1RecurringNaive(integrated bool) *ReducedSets {
 func multiIndices(cs *levelSet, v int32) []int {
 	var out []int
 	for j := range cs.levels {
-		if cs.member[j][v] {
+		if cs.levels[j].has(v) {
 			out = append(out, j)
 		}
 	}

@@ -15,6 +15,16 @@ type Options struct {
 	// fixpoints poll it and return ctx.Err() instead of a result once
 	// it is done. A nil Ctx disables cancellation entirely.
 	Ctx context.Context
+	// Workers sets the size of the worker pool sharding the counting
+	// frontier rounds (Step 1 counting-set BFS, exit seeding, Step 2
+	// descent). 0 or 1 runs sequentially; a negative value uses one
+	// worker per CPU. Results and retrieval counts are identical to
+	// the sequential run in every case.
+	Workers int
+	// ParallelThreshold is the minimum frontier size for a round to be
+	// sharded across Workers; smaller frontiers run sequentially. 0
+	// selects a sensible default.
+	ParallelThreshold int
 }
 
 // SolveMagicCounting evaluates the query with the magic counting
@@ -35,7 +45,7 @@ func (q Query) SolveMagicCountingCtx(ctx context.Context, strategy Strategy, mod
 // SolveMagicCountingOpts is SolveMagicCounting with explicit options.
 func (q Query) SolveMagicCountingOpts(strategy Strategy, mode Mode, opts Options) (*Result, error) {
 	in := build(q)
-	in.setContext(opts.Ctx)
+	in.configure(opts)
 	integrated := mode == Integrated
 	var rs *ReducedSets
 	switch strategy {
@@ -58,7 +68,7 @@ func (q Query) SolveMagicCountingOpts(strategy Strategy, mode Mode, opts Options
 	if in.stopped() {
 		return nil, in.ctxErr
 	}
-	var answers map[int32]bool
+	var answers *denseSet
 	var iter int
 	if integrated {
 		answers, iter = in.solveIntegrated(rs)
@@ -93,14 +103,14 @@ func (q Query) SolveMagicCountingOpts(strategy Strategy, mode Mode, opts Options
 // counting part seeded by RC and the magic part with exit rule
 // restricted to RM but recursion over the full magic set, answers
 // unioned.
-func (in *instance) solveIndependent(rs *ReducedSets) (map[int32]bool, int) {
+func (in *instance) solveIndependent(rs *ReducedSets) (*denseSet, int) {
 	answers, iter := in.countingDescent(rs.RC)
 	rm := rs.rmList()
 	if len(rm) > 0 {
 		pm, mIter := in.magicPairs(rm, rs.MS, nil)
 		iter += mIter
-		for y := range pm.bySource(in.src) {
-			answers[y] = true
+		for _, y := range pm.bySource(in.src) {
+			answers.add(y)
 		}
 	}
 	return answers, iter
@@ -116,7 +126,7 @@ func (in *instance) solveIndependent(rs *ReducedSets) (map[int32]bool, int) {
 // L-successors, an invariant of all four Step 1 constructions
 // (successors of non-single nodes are non-single; successors of
 // recurring nodes are recurring).
-func (in *instance) solveIntegrated(rs *ReducedSets) (map[int32]bool, int) {
+func (in *instance) solveIntegrated(rs *ReducedSets) (*denseSet, int) {
 	iter := 0
 	pc := newLevelSet()
 	rm := rs.rmList()

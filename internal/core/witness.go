@@ -158,7 +158,7 @@ func VerifyProof(q Query, p *Proof) error {
 // conditions produce wrong answers, which CheckReducedSets predicts.
 func SolveWithReducedSets(q Query, rs *ReducedSets, mode Mode) (*Result, error) {
 	in := build(q)
-	var answers map[int32]bool
+	var answers *denseSet
 	var iter int
 	if mode == Integrated {
 		answers, iter = in.solveIntegrated(rs)

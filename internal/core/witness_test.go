@@ -170,17 +170,7 @@ func TestTheoremOneTightness(t *testing.T) {
 		}
 	}
 	for j := range rs.RC.levels {
-		if rs.RC.member[j][fID] {
-			delete(rs.RC.member[j], fID)
-			var kept []int32
-			for _, v := range rs.RC.levels[j] {
-				if v != fID {
-					kept = append(kept, v)
-				}
-			}
-			rs.RC.levels[j] = kept
-			rs.RC.pairs--
-		}
+		rs.RC.remove(j, fID)
 	}
 	if err := CheckReducedSets(q, rs, Independent); err == nil {
 		t.Fatal("checker should flag the dropped node")

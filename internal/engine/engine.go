@@ -31,6 +31,13 @@ type Options struct {
 	// polls it and Eval returns ctx.Err() once it is done, matching
 	// the cancellation semantics of the core solver path.
 	Ctx context.Context
+	// Workers sets the worker pool for seminaive delta rounds. A round
+	// is parallelized only when its rule evaluations are provably
+	// independent (no task reads a predicate another task writes);
+	// conflicting rounds fall back to the sequential loop, so results,
+	// stats, and meter counts are identical to Workers == 0 in every
+	// case. 0 or 1 runs sequentially; negative uses one worker per CPU.
+	Workers int
 }
 
 // ctxErr polls the options context (nil context never errs).
@@ -164,7 +171,7 @@ func evalNaive(rules []datalog.Rule, store *relation.Store, opts Options, stats 
 		for _, r := range rules {
 			r := r
 			rel := store.Relation(r.Head.Pred, len(r.Head.Args))
-			evalRule(r, store, nil, "", func(t relation.Tuple) {
+			evalRule(r, store, nil, -1, false, func(t relation.Tuple) {
 				if rel.Insert(t) {
 					added++
 					stats.note(r.Head.Pred)
@@ -178,22 +185,27 @@ func evalNaive(rules []datalog.Rule, store *relation.Store, opts Options, stats 
 }
 
 func evalSeminaive(rules []datalog.Rule, heads map[string]bool, store *relation.Store, opts Options, stats *Stats) error {
+	pe := newParEval(rules, heads, store, opts)
+
 	// Round 0: full evaluation seeds the deltas.
 	deltas := make(map[string]*relation.Relation)
 	stats.Iterations++
-	for _, r := range rules {
+	tasks := make([]roundTask, 0, len(rules))
+	for i, r := range rules {
 		rel := store.Relation(r.Head.Pred, len(r.Head.Args))
-		d := deltas[r.Head.Pred]
-		if d == nil {
-			d = relation.New("Δ"+r.Head.Pred, rel.Arity(), rel.Meter())
-			deltas[r.Head.Pred] = d
+		if deltas[r.Head.Pred] == nil {
+			deltas[r.Head.Pred] = store.Scratch("Δ"+r.Head.Pred, rel.Arity())
 		}
-		evalRule(r, store, nil, "", func(t relation.Tuple) {
-			if rel.Insert(t) {
-				stats.note(r.Head.Pred)
-				d.Insert(t)
-			}
-		})
+		tasks = append(tasks, roundTask{rule: r, ruleIdx: i, head: rel, deltaPos: -1})
+	}
+	runRound(store, pe, rules, tasks, func(tk *roundTask, t relation.Tuple) {
+		if tk.head.Insert(t) {
+			stats.note(tk.rule.Head.Pred)
+			deltas[tk.rule.Head.Pred].Insert(t)
+		}
+	})
+	for pred, d := range deltas {
+		pe.indexDelta(pred, d)
 	}
 	for round := 1; ; round++ {
 		if round >= opts.MaxIterations {
@@ -211,12 +223,11 @@ func evalSeminaive(rules []datalog.Rule, heads map[string]bool, store *relation.
 		}
 		stats.Iterations++
 		next := make(map[string]*relation.Relation)
-		for _, r := range rules {
+		tasks = tasks[:0]
+		for ri, r := range rules {
 			rel := store.Relation(r.Head.Pred, len(r.Head.Args))
-			nd := next[r.Head.Pred]
-			if nd == nil {
-				nd = relation.New("Δ"+r.Head.Pred, rel.Arity(), rel.Meter())
-				next[r.Head.Pred] = nd
+			if next[r.Head.Pred] == nil {
+				next[r.Head.Pred] = store.Scratch("Δ"+r.Head.Pred, rel.Arity())
 			}
 			// One differential per recursive body literal: match that
 			// literal against its predicate's delta, the rest against
@@ -229,30 +240,33 @@ func evalSeminaive(rules []datalog.Rule, heads map[string]bool, store *relation.
 				if d == nil || d.Len() == 0 {
 					continue
 				}
-				evalRule(r, store, d, deltaKey(i), func(t relation.Tuple) {
-					if rel.Insert(t) {
-						stats.note(r.Head.Pred)
-						nd.Insert(t)
-					}
-				})
+				tasks = append(tasks, roundTask{rule: r, ruleIdx: ri, head: rel, deltaPos: i, delta: d})
 			}
+		}
+		runRound(store, pe, rules, tasks, func(tk *roundTask, t relation.Tuple) {
+			if tk.head.Insert(t) {
+				stats.note(tk.rule.Head.Pred)
+				next[tk.rule.Head.Pred].Insert(t)
+			}
+		})
+		for pred, nd := range next {
+			pe.indexDelta(pred, nd)
 		}
 		deltas = next
 	}
 }
 
-// deltaKey marks which body position should read from the delta.
-func deltaKey(i int) string { return fmt.Sprintf("@%d", i) }
-
 // bindings maps variable names to constants during body evaluation.
 type bindings map[string]relation.Value
 
 // evalRule enumerates the ground heads derivable from r. If deltaPos
-// is nonempty, the body literal at that original position reads from
-// delta instead of its stored relation. Builtins and negated literals
-// are deferred until their inputs are bound, so rules only need to be
-// statically safe, not textually ordered.
-func evalRule(r datalog.Rule, store *relation.Store, delta *relation.Relation, deltaPos string, emit func(relation.Tuple)) {
+// is non-negative, the body literal at that original position reads
+// from delta instead of its stored relation. Builtins and negated
+// literals are deferred until their inputs are bound, so rules only
+// need to be statically safe, not textually ordered. With readOnly
+// set, relation probes never build indexes lazily, so concurrent
+// evaluations over a shared store are race-free.
+func evalRule(r datalog.Rule, store *relation.Store, delta *relation.Relation, deltaPos int, readOnly bool, emit func(relation.Tuple)) {
 	order := orderBody(r)
 	env := make(bindings)
 	var walk func(i int)
@@ -271,18 +285,18 @@ func evalRule(r datalog.Rule, store *relation.Store, delta *relation.Relation, d
 			evalBuiltin(l.Atom, env, func() { walk(i + 1) })
 		case l.Negated:
 			rel, ok := store.Lookup(l.Atom.Pred)
-			if !ok || !hasMatch(rel, l.Atom, env) {
+			if !ok || !hasMatch(rel, l.Atom, env, readOnly) {
 				walk(i + 1)
 			}
 		default:
 			rel, ok := store.Lookup(l.Atom.Pred)
-			if deltaKey(order[i]) == deltaPos {
+			if order[i] == deltaPos {
 				rel, ok = delta, delta != nil
 			}
 			if !ok {
 				return
 			}
-			matchAtom(rel, l.Atom, env, func(relation.Tuple) { walk(i + 1) })
+			matchAtomMode(rel, l.Atom, env, readOnly, func(relation.Tuple) { walk(i + 1) })
 		}
 	}
 	walk(0)
@@ -390,6 +404,14 @@ func valueOf(t datalog.Term, env bindings) relation.Value {
 // every matching tuple with the atom's free variables bound. Bindings
 // added for a match are undone before trying the next tuple.
 func matchAtom(rel *relation.Relation, a datalog.Atom, env bindings, next func(relation.Tuple)) {
+	matchAtomMode(rel, a, env, false, next)
+}
+
+// matchAtomMode is matchAtom with an explicit probe mode: readOnly
+// probes use LookupReadOnly (identical matches and identical meter
+// charges, but no lazy index builds), which makes them safe to run
+// concurrently against a shared relation.
+func matchAtomMode(rel *relation.Relation, a datalog.Atom, env bindings, readOnly bool, next func(relation.Tuple)) {
 	var cols []int
 	var vals []relation.Value
 	for i, t := range a.Args {
@@ -401,7 +423,11 @@ func matchAtom(rel *relation.Relation, a datalog.Atom, env bindings, next func(r
 			vals = append(vals, v)
 		}
 	}
-	rel.Lookup(cols, vals, func(t relation.Tuple) bool {
+	lookup := rel.Lookup
+	if readOnly {
+		lookup = rel.LookupReadOnly
+	}
+	lookup(cols, vals, func(t relation.Tuple) bool {
 		var boundHere []string
 		ok := true
 		for i, arg := range a.Args {
@@ -430,9 +456,9 @@ func matchAtom(rel *relation.Relation, a datalog.Atom, env bindings, next func(r
 
 // hasMatch reports whether any tuple of rel matches a under env
 // (used for negated literals; all variables are bound by safety).
-func hasMatch(rel *relation.Relation, a datalog.Atom, env bindings) bool {
+func hasMatch(rel *relation.Relation, a datalog.Atom, env bindings, readOnly bool) bool {
 	found := false
-	matchAtom(rel, a, env, func(relation.Tuple) { found = true })
+	matchAtomMode(rel, a, env, readOnly, func(relation.Tuple) { found = true })
 	return found
 }
 

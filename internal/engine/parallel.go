@@ -1,0 +1,229 @@
+package engine
+
+import (
+	"runtime"
+	"strconv"
+	"sync"
+
+	"magiccounting/internal/datalog"
+	"magiccounting/internal/relation"
+)
+
+// roundTask is one unit of a seminaive round: a rule evaluated either
+// fully (deltaPos < 0, round 0) or with the body literal at deltaPos
+// reading delta instead of its stored relation.
+type roundTask struct {
+	rule     datalog.Rule
+	ruleIdx  int
+	head     *relation.Relation
+	deltaPos int
+	delta    *relation.Relation
+}
+
+// parEval holds the per-stratum state for parallel round evaluation:
+// the worker budget, the statically compiled probe column specs, and
+// the prepass that builds every index the read-only phase will probe.
+//
+// Correctness argument, in two halves. (1) A round runs in parallel
+// only when no task reads a predicate any task in the round writes
+// (independent below). Sequential evaluation applies inserts while
+// tasks run, but under that gate no task can observe them, so every
+// task sees exactly the pre-round state — the same state the parallel
+// workers read. (2) Workers buffer their emitted head tuples instead
+// of inserting, and the merge replays the buffers through the same
+// insert-dedup-stats sink in task order, i.e. in the order the
+// sequential loop would have produced them. Together: identical
+// derived tuples in identical order, identical stats, and — because a
+// probe's retrieval charge depends only on the state it reads, and
+// reads never race writes — an identical meter total.
+type parEval struct {
+	workers int
+	store   *relation.Store
+	// probeCols[ruleIdx][bodyPos] is the column spec matchAtom probes
+	// with at that position (nil for builtins and all-free probes).
+	probeCols [][][]int
+	// deltaSpecs maps a recursive predicate to the column specs its
+	// delta relations get probed with.
+	deltaSpecs map[string][][]int
+	prepassed  bool
+}
+
+// resolveWorkers normalizes Options.Workers: 0 or 1 is sequential,
+// negative means one worker per CPU.
+func resolveWorkers(w int) int {
+	if w < 0 {
+		return runtime.NumCPU()
+	}
+	return w
+}
+
+// newParEval compiles the parallel-evaluation plan for a stratum, or
+// returns nil when the options call for sequential evaluation.
+func newParEval(rules []datalog.Rule, heads map[string]bool, store *relation.Store, opts Options) *parEval {
+	w := resolveWorkers(opts.Workers)
+	if w <= 1 || len(rules) < 2 {
+		return nil
+	}
+	pe := &parEval{
+		workers:    w,
+		store:      store,
+		probeCols:  make([][][]int, len(rules)),
+		deltaSpecs: make(map[string][][]int),
+	}
+	seen := make(map[string]bool)
+	for i, r := range rules {
+		pe.probeCols[i] = compileProbes(r)
+		for pos, l := range r.Body {
+			cols := pe.probeCols[i][pos]
+			if len(cols) == 0 || l.Negated || !heads[l.Atom.Pred] {
+				continue
+			}
+			// This position can be evaluated against a delta of
+			// l.Atom.Pred, which will need an index on cols.
+			key := l.Atom.Pred + "/" + specString(cols)
+			if !seen[key] {
+				seen[key] = true
+				pe.deltaSpecs[l.Atom.Pred] = append(pe.deltaSpecs[l.Atom.Pred], cols)
+			}
+		}
+	}
+	return pe
+}
+
+func specString(cols []int) string {
+	s := ""
+	for _, c := range cols {
+		s += strconv.Itoa(c) + ","
+	}
+	return s
+}
+
+// compileProbes statically computes, for each body position of r, the
+// bound column spec matchAtom will pass to Lookup at that position —
+// by replaying orderBody's variable-binding accrual: a column is bound
+// if its term is a constant or a variable bound by an earlier
+// (non-negated) literal in the evaluation order.
+func compileProbes(r datalog.Rule) [][]int {
+	order := orderBody(r)
+	cols := make([][]int, len(r.Body))
+	bound := make(map[string]bool)
+	bindAll := func(a datalog.Atom) {
+		for _, t := range a.Args {
+			if t.IsVar() {
+				bound[t.Var] = true
+			}
+		}
+	}
+	for _, pos := range order {
+		l := r.Body[pos]
+		if l.Atom.IsBuiltin() {
+			bindAll(l.Atom)
+			continue
+		}
+		var cs []int
+		for i, t := range l.Atom.Args {
+			if !t.IsVar() || bound[t.Var] {
+				cs = append(cs, i)
+			}
+		}
+		cols[pos] = cs
+		if !l.Negated {
+			bindAll(l.Atom)
+		}
+	}
+	return cols
+}
+
+// independent reports whether the round's tasks are mutually
+// conflict-free: no task reads — at a non-delta position or under
+// negation — a predicate that any task in the round writes. Under
+// this condition the sequential round's intra-round insert visibility
+// is provably empty, so the buffered parallel execution is
+// indistinguishable from it.
+func (pe *parEval) independent(tasks []roundTask) bool {
+	writes := make(map[string]bool, len(tasks))
+	for i := range tasks {
+		writes[tasks[i].rule.Head.Pred] = true
+	}
+	for i := range tasks {
+		for pos, l := range tasks[i].rule.Body {
+			if l.Atom.IsBuiltin() || pos == tasks[i].deltaPos {
+				continue
+			}
+			if writes[l.Atom.Pred] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// prepass builds every index the compiled probe specs need on the
+// stored relations, so the read-only parallel phase never falls back
+// to a scan (and, more importantly, never mutates a shared relation).
+// Index builds are uncharged, exactly like the lazy builds of the
+// sequential path. Runs once per stratum.
+func (pe *parEval) prepass(rules []datalog.Rule) {
+	if pe.prepassed {
+		return
+	}
+	pe.prepassed = true
+	for i, r := range rules {
+		for pos, l := range r.Body {
+			cols := pe.probeCols[i][pos]
+			if l.Atom.IsBuiltin() || len(cols) == 0 {
+				continue
+			}
+			if rel, ok := pe.store.Lookup(l.Atom.Pred); ok {
+				rel.EnsureIndex(cols...)
+			}
+		}
+	}
+}
+
+// indexDelta pre-builds the indexes the next round's tasks will probe
+// on a freshly filled delta relation.
+func (pe *parEval) indexDelta(pred string, d *relation.Relation) {
+	if pe == nil {
+		return
+	}
+	for _, cols := range pe.deltaSpecs[pred] {
+		d.EnsureIndex(cols...)
+	}
+}
+
+// runRound evaluates one seminaive round. Emitted head tuples reach
+// sink in deterministic task order: sequentially when the round has a
+// read/write conflict (or no parallel plan), otherwise via buffered
+// workers and an ordered merge.
+func runRound(store *relation.Store, pe *parEval, rules []datalog.Rule, tasks []roundTask, sink func(*roundTask, relation.Tuple)) {
+	if pe == nil || len(tasks) < 2 || !pe.independent(tasks) {
+		for i := range tasks {
+			tk := &tasks[i]
+			evalRule(tk.rule, store, tk.delta, tk.deltaPos, false, func(t relation.Tuple) { sink(tk, t) })
+		}
+		return
+	}
+	pe.prepass(rules)
+	bufs := make([][]relation.Tuple, len(tasks))
+	sem := make(chan struct{}, pe.workers)
+	var wg sync.WaitGroup
+	for i := range tasks {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			tk := &tasks[i]
+			evalRule(tk.rule, store, tk.delta, tk.deltaPos, true, func(t relation.Tuple) {
+				bufs[i] = append(bufs[i], t)
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i := range tasks {
+		for _, t := range bufs[i] {
+			sink(&tasks[i], t)
+		}
+	}
+}

@@ -7,15 +7,17 @@ import (
 
 // Store is a named collection of relations — the database a Datalog
 // evaluation runs against. All relations created through a Store share
-// its Meter.
+// its Meter and its symbol table, so a constant is interned once
+// store-wide and every cross-relation probe compares dense ids.
 type Store struct {
 	meter     *Meter
+	syms      *symtab
 	relations map[string]*Relation
 }
 
 // NewStore creates an empty store with a fresh meter.
 func NewStore() *Store {
-	return &Store{meter: &Meter{}, relations: make(map[string]*Relation)}
+	return &Store{meter: &Meter{}, syms: newSymtab(), relations: make(map[string]*Relation)}
 }
 
 // Meter returns the store-wide cost meter.
@@ -27,7 +29,7 @@ func (s *Store) Meter() *Meter { return s.meter }
 func (s *Store) Relation(pred string, arity int) *Relation {
 	r, ok := s.relations[pred]
 	if !ok {
-		r = New(pred, arity, s.meter)
+		r = newRelation(pred, arity, s.meter, s.syms)
 		s.relations[pred] = r
 		return r
 	}
@@ -35,6 +37,14 @@ func (s *Store) Relation(pred string, arity int) *Relation {
 		panic(fmt.Sprintf("relation: predicate %s used with arity %d and %d", pred, r.Arity(), arity))
 	}
 	return r
+}
+
+// Scratch returns a transient relation sharing the store's meter and
+// symbol table but not registered in the store — e.g. a seminaive
+// delta. Sharing the table keeps probes between scratch and stored
+// relations on the interned fast path.
+func (s *Store) Scratch(name string, arity int) *Relation {
+	return newRelation(name, arity, s.meter, s.syms)
 }
 
 // Lookup returns the relation for pred if present.
@@ -67,7 +77,7 @@ func (s *Store) Clone() *Store {
 	c := NewStore()
 	for name, r := range s.relations {
 		cr := c.Relation(name, r.Arity())
-		for _, t := range r.Tuples() {
+		for _, t := range r.tuples {
 			cr.Insert(t)
 		}
 	}
@@ -78,13 +88,20 @@ func (s *Store) Clone() *Store {
 // concurrent readers: every relation in the snapshot is frozen (no
 // inserts, no lazy index builds), shares the original's append-only
 // tuple storage, and charges to the snapshot's own fresh atomic
-// Meter. The caller must ensure no writer runs concurrently with
-// Snapshot itself; afterwards, writers may keep inserting into the
-// original while any number of goroutines read the snapshot.
+// Meter. The snapshot also owns a clone of the symbol table, so the
+// original's writer may keep interning fresh constants while snapshot
+// readers resolve probes. The caller must ensure no writer runs
+// concurrently with Snapshot itself; afterwards, writers may keep
+// inserting into the original while any number of goroutines read the
+// snapshot.
 func (s *Store) Snapshot() *Store {
-	c := &Store{meter: &Meter{}, relations: make(map[string]*Relation, len(s.relations))}
+	c := &Store{
+		meter:     &Meter{},
+		syms:      s.syms.clone(),
+		relations: make(map[string]*Relation, len(s.relations)),
+	}
 	for name, r := range s.relations {
-		c.relations[name] = r.snapshot(c.meter)
+		c.relations[name] = r.snapshot(c.meter, c.syms)
 	}
 	return c
 }

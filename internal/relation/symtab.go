@@ -1,0 +1,72 @@
+package relation
+
+// symtab interns Values into dense int32 ids. All relations of a Store
+// share one table, so a constant is hashed once on first insert and
+// every later membership probe, index key, or dedup check works on
+// fixed-width integers instead of re-encoding the value as a string.
+// Symbols and integers live in separate maps keyed by their raw
+// representation: the runtime's specialized string and int64 hashers
+// are markedly faster than hashing the composite Value struct.
+//
+// Concurrency contract: intern mutates and must only run from the
+// single-writer side (Insert). lookup is read-only, so any number of
+// readers may probe concurrently as long as no intern runs — the
+// regime of frozen snapshots and of the engine's parallel read phase.
+type symtab struct {
+	syms map[string]int32
+	nums map[int64]int32
+	next int32
+}
+
+func newSymtab() *symtab {
+	return &symtab{syms: make(map[string]int32), nums: make(map[int64]int32)}
+}
+
+// intern returns v's id, assigning the next dense id on first sight.
+func (s *symtab) intern(v Value) int32 {
+	if v.kind == KindSym {
+		if id, ok := s.syms[v.sym]; ok {
+			return id
+		}
+		id := s.next
+		s.next++
+		s.syms[v.sym] = id
+		return id
+	}
+	if id, ok := s.nums[v.num]; ok {
+		return id
+	}
+	id := s.next
+	s.next++
+	s.nums[v.num] = id
+	return id
+}
+
+// lookup returns v's id if v was ever interned. A miss proves v is
+// stored in no relation sharing this table.
+func (s *symtab) lookup(v Value) (int32, bool) {
+	if v.kind == KindSym {
+		id, ok := s.syms[v.sym]
+		return id, ok
+	}
+	id, ok := s.nums[v.num]
+	return id, ok
+}
+
+// clone returns an independent copy with identical assignments, so a
+// store snapshot keeps resolving ids while the original table keeps
+// growing under its writer.
+func (s *symtab) clone() *symtab {
+	c := &symtab{
+		syms: make(map[string]int32, len(s.syms)),
+		nums: make(map[int64]int32, len(s.nums)),
+		next: s.next,
+	}
+	for v, id := range s.syms {
+		c.syms[v] = id
+	}
+	for v, id := range s.nums {
+		c.nums[v] = id
+	}
+	return c
+}
