@@ -1,0 +1,137 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// Minimized differential-regression instances, one per Figure-3
+// regime family of the oracle sweep (internal/oracle). The expected
+// answer sets are hand-computed from Fact 2 and cross-checked by the
+// oracle's two independent evaluators; pinning them here keeps the
+// tier-1 suite honest even without the oracle package on the test
+// path. Every solver the package exports must produce exactly these
+// sets.
+var oracleRegressions = []struct {
+	name    string
+	q       Query
+	regime  Regime
+	answers []string
+}{
+	{
+		name: "regular chain",
+		// k=0 crosses a->w; k=1 reaches b, crosses to x, one G_R
+		// step x->y (R pair (y,x)).
+		q: Query{
+			L:      []Pair{P("a", "b")},
+			E:      []Pair{P("b", "x"), P("a", "w")},
+			R:      []Pair{P("y", "x")},
+			Source: "a",
+		},
+		regime:  RegimeRegular,
+		answers: []string{"w", "y"},
+	},
+	{
+		name: "cyclic but regular",
+		// The u<->v cycle reaches the source but is unreachable from
+		// it, so the magic graph stays regular.
+		q: Query{
+			L:      []Pair{P("a", "b"), P("u", "v"), P("v", "u"), P("v", "a")},
+			E:      []Pair{P("b", "x")},
+			R:      []Pair{P("y", "x")},
+			Source: "a",
+		},
+		regime:  RegimeRegular,
+		answers: []string{"y"},
+	},
+	{
+		name: "multiple via skip arc",
+		// c is reachable at lengths 1 (skip) and 2 (chain): the k=1
+		// witness descends one G_R step to y, the k=2 witness two
+		// steps to z.
+		q: Query{
+			L:      []Pair{P("a", "b"), P("b", "c"), P("a", "c")},
+			E:      []Pair{P("c", "x")},
+			R:      []Pair{P("y", "x"), P("z", "y")},
+			Source: "a",
+		},
+		regime:  RegimeAcyclic,
+		answers: []string{"y", "z"},
+	},
+	{
+		name: "recurring two-cycle",
+		// Even k sits at a and crosses to x; the G_R two-cycle
+		// returns to x after any even number of steps. Odd k sits at
+		// b with no E arc. Infinitely many walk lengths, one answer.
+		q: Query{
+			L:      []Pair{P("a", "b"), P("b", "a")},
+			E:      []Pair{P("a", "x")},
+			R:      []Pair{P("y", "x"), P("x", "y")},
+			Source: "a",
+		},
+		regime:  RegimeCyclic,
+		answers: []string{"x"},
+	},
+}
+
+// TestOracleRegressionsAllMethods pins the minimized instances across
+// every method: the eight strategy/mode combinations, the magic-set
+// and naive baselines, cyclic counting, and automatic selection.
+func TestOracleRegressionsAllMethods(t *testing.T) {
+	strategies := []Strategy{Basic, Single, Multiple, Recurring}
+	modes := []Mode{Independent, Integrated}
+	for _, tc := range oracleRegressions {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := ChooseMethod(tc.q).Regime; got != tc.regime {
+				t.Fatalf("regime = %s, want %s", got, tc.regime)
+			}
+			for _, st := range strategies {
+				for _, m := range modes {
+					res, err := tc.q.SolveMagicCounting(st, m)
+					if err != nil {
+						t.Fatalf("%s/%s: %v", st, m, err)
+					}
+					if !reflect.DeepEqual(res.Answers, tc.answers) {
+						t.Errorf("%s/%s: answers %v, want %v", st, m, res.Answers, tc.answers)
+					}
+				}
+			}
+			for name, solve := range map[string]func() (*Result, error){
+				"magic":           tc.q.SolveMagic,
+				"naive":           tc.q.SolveNaive,
+				"counting-cyclic": tc.q.SolveCountingCyclic,
+			} {
+				res, err := solve()
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				if !reflect.DeepEqual(res.Answers, tc.answers) {
+					t.Errorf("%s: answers %v, want %v", name, res.Answers, tc.answers)
+				}
+			}
+			res, _, err := tc.q.SolveAuto(Options{})
+			if err != nil {
+				t.Fatalf("auto: %v", err)
+			}
+			if !reflect.DeepEqual(res.Answers, tc.answers) {
+				t.Errorf("auto: answers %v, want %v", res.Answers, tc.answers)
+			}
+			// Pure counting is safe exactly when the magic graph is
+			// acyclic (Theorem: cyclic regime makes counting unsafe).
+			cres, err := tc.q.SolveCounting()
+			if tc.regime == RegimeCyclic {
+				if !errors.Is(err, ErrUnsafe) {
+					t.Errorf("counting on cyclic regime: err = %v, want ErrUnsafe", err)
+				}
+			} else {
+				if err != nil {
+					t.Fatalf("counting: %v", err)
+				}
+				if !reflect.DeepEqual(cres.Answers, tc.answers) {
+					t.Errorf("counting: answers %v, want %v", cres.Answers, tc.answers)
+				}
+			}
+		})
+	}
+}

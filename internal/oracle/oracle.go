@@ -1,0 +1,235 @@
+// Package oracle is an independent correctness reference for the
+// magic counting solvers: it computes the answers to the canonical
+// strongly linear query
+//
+//	?- P(a, Y).
+//	P(X, Y) :- E(X, Y).
+//	P(X, Y) :- L(X, X1), P(X1, Y1), R(Y, Y1).
+//
+// straight from the paper's Fact 2 — b0 is an answer iff there is a
+// walk of k arcs in the magic graph G_L from a to some x, one G_E arc
+// (x, y), and k arcs in G_R from y to b0 (G_R reverses the R pairs:
+// (b, c) in R is the arc c -> b) — with none of the machinery under
+// test: no rewriting, no counting sets, no magic sets, no interning,
+// and no code shared with internal/core. Everything here is plain
+// strings and maps, deliberately naive, so a bug would have to be
+// reinvented independently to go unnoticed.
+//
+// Two evaluators are provided. Answers is the literal transcription
+// of Fact 2: it enumerates k = 0, 1, 2, ... and collects, for each k,
+// the exact-k-step G_R image of the G_E crossing of the exact-k-step
+// G_L frontier, up to the product-state bound nL*nR beyond which no
+// minimal witness walk exists. AnswersMemo derives the same set from
+// Fact 2's inductive walk decomposition, memoized over (L-node,
+// R-node) pairs so it stays polynomial on any input. The differential
+// tests assert the two agree before either is trusted as ground
+// truth.
+package oracle
+
+import "sort"
+
+// Arc is one (from, to) tuple of a database relation, as plain
+// strings. It deliberately duplicates core.Pair so this package
+// compiles without importing the code under test.
+type Arc struct {
+	From, To string
+}
+
+// adjacency builds a forward adjacency map, deduplicating arcs.
+func adjacency(arcs []Arc) map[string][]string {
+	seen := make(map[Arc]bool, len(arcs))
+	out := make(map[string][]string)
+	for _, a := range arcs {
+		if seen[a] {
+			continue
+		}
+		seen[a] = true
+		out[a.From] = append(out[a.From], a.To)
+	}
+	return out
+}
+
+// reversedAdjacency builds the G_R adjacency: each R pair (b, c) is
+// the descent arc c -> b.
+func reversedAdjacency(arcs []Arc) map[string][]string {
+	seen := make(map[Arc]bool, len(arcs))
+	out := make(map[string][]string)
+	for _, a := range arcs {
+		if seen[a] {
+			continue
+		}
+		seen[a] = true
+		out[a.To] = append(out[a.To], a.From)
+	}
+	return out
+}
+
+// step advances a node set one arc along adj, returning the exact
+// one-step image.
+func step(set map[string]bool, adj map[string][]string) map[string]bool {
+	next := make(map[string]bool)
+	for u := range set {
+		for _, v := range adj[u] {
+			next[v] = true
+		}
+	}
+	return next
+}
+
+// universeSizes counts the distinct L-side and R-side node names. The
+// L side holds the source, every L endpoint, and every E source; the
+// R side every E target and every R endpoint. The two sides are
+// separate name spaces (the paper's query graph keeps them apart), so
+// a constant occurring on both sides counts once per side.
+func universeSizes(l, e, r []Arc, source string) (nL, nR int) {
+	lSide := map[string]bool{source: true}
+	rSide := map[string]bool{}
+	for _, a := range l {
+		lSide[a.From], lSide[a.To] = true, true
+	}
+	for _, a := range e {
+		lSide[a.From] = true
+		rSide[a.To] = true
+	}
+	for _, a := range r {
+		rSide[a.From], rSide[a.To] = true, true
+	}
+	return len(lSide), len(rSide)
+}
+
+// track is one pending Fact-2 witness family: the G_E image of the
+// exact-k-step G_L frontier, advancing through G_R one step per
+// round until it has taken exactly k steps.
+type track struct {
+	remaining int
+	cur       map[string]bool
+}
+
+// Answers computes the answer set of ?- P(source, Y) by enumerating
+// Fact 2's walks literally. For k = 0, 1, 2, ...: take W_k, the set
+// of L-nodes reachable from source by a walk of exactly k G_L arcs;
+// cross G_E to get Y_k; then the R-nodes reachable from Y_k by
+// exactly k G_R arcs are answers. Any answer has such a witness with
+// k <= nL*nR: a longer witness repeats a (G_L position, G_R position)
+// pair and both walks can be cut at the repeat, so enumeration stops
+// there (or earlier, once the frontier dies and no track is live).
+//
+// The returned slice is sorted and never nil.
+func Answers(l, e, r []Arc, source string) []string {
+	lOut := adjacency(l)
+	eOut := adjacency(e)
+	rFwd := reversedAdjacency(r)
+	nL, nR := universeSizes(l, e, r, source)
+	maxK := nL * nR
+
+	answers := make(map[string]bool)
+	frontier := map[string]bool{source: true}
+	var live []track
+	for k := 0; k <= maxK; k++ {
+		if k > 0 {
+			frontier = step(frontier, lOut)
+		}
+		crossed := step(frontier, eOut)
+		if k == 0 {
+			// Zero L-steps pair with zero R-steps: the crossing
+			// itself answers.
+			for y := range crossed {
+				answers[y] = true
+			}
+		} else if len(crossed) > 0 {
+			live = append(live, track{remaining: k, cur: crossed})
+		}
+		// Every live track takes one G_R step per round; a track born
+		// at k finishes after exactly k steps.
+		next := live[:0]
+		for _, t := range live {
+			t.cur = step(t.cur, rFwd)
+			t.remaining--
+			if t.remaining == 0 {
+				for y := range t.cur {
+					answers[y] = true
+				}
+			} else if len(t.cur) > 0 {
+				next = append(next, t)
+			}
+		}
+		live = next
+		if len(frontier) == 0 && len(live) == 0 {
+			break
+		}
+	}
+	// Drain tracks born near the end of the enumeration.
+	for len(live) > 0 {
+		next := live[:0]
+		for _, t := range live {
+			t.cur = step(t.cur, rFwd)
+			t.remaining--
+			if t.remaining == 0 {
+				for y := range t.cur {
+					answers[y] = true
+				}
+			} else if len(t.cur) > 0 {
+				next = append(next, t)
+			}
+		}
+		live = next
+	}
+	return sorted(answers)
+}
+
+// AnswersMemo computes the same set from Fact 2's walk decomposition:
+// a pair (u, v) is "derivable" iff there is a k-walk u -> x in G_L, an
+// arc (x, y) in G_E, and a k-walk y -> v in G_R. Peeling the first
+// G_L arc and the last G_R arc gives the induction
+//
+//	derivable(x, y)  if (x, y) in E
+//	derivable(u, v)  if u -> u' in G_L, derivable(u', v'), v' -> v in G_R
+//
+// memoized over at most nL*nR pairs; the answers are the v with
+// derivable(source, v). The returned slice is sorted and never nil.
+func AnswersMemo(l, e, r []Arc, source string) []string {
+	lIn := reversedAdjacency(l) // u' -> u reversed: successors back to predecessors
+	eOut := adjacency(e)
+	rFwd := reversedAdjacency(r)
+
+	type pair struct{ u, v string }
+	derived := make(map[pair]bool)
+	var work []pair
+	add := func(u, v string) {
+		p := pair{u, v}
+		if !derived[p] {
+			derived[p] = true
+			work = append(work, p)
+		}
+	}
+	for x, ys := range eOut {
+		for _, y := range ys {
+			add(x, y)
+		}
+	}
+	for len(work) > 0 {
+		p := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, u := range lIn[p.u] {
+			for _, v := range rFwd[p.v] {
+				add(u, v)
+			}
+		}
+	}
+	answers := make(map[string]bool)
+	for p := range derived {
+		if p.u == source {
+			answers[p.v] = true
+		}
+	}
+	return sorted(answers)
+}
+
+func sorted(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}

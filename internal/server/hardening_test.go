@@ -1,0 +1,305 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"magiccounting/internal/core"
+	"magiccounting/internal/oracle"
+	"magiccounting/internal/workload"
+)
+
+// TestAppendFactsDedupe pins the set semantics of the database:
+// appending pairs already present (or repeated within one request)
+// adds nothing, keeps the generation unchanged, and reports accurate
+// Added counts for mixed requests.
+func TestAppendFactsDedupe(t *testing.T) {
+	s := New(Config{})
+	first, err := s.AppendFacts(FactsRequest{
+		L: []core.Pair{{From: "a", To: "b"}, {From: "a", To: "b"}}, // intra-request dup
+		E: []core.Pair{{From: "b", To: "x"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Generation != 1 || first.AddedL != 1 || first.AddedE != 1 || first.AddedR != 0 {
+		t.Fatalf("first append = %+v, want generation 1, added 1/1/0", first)
+	}
+
+	// Re-POST of known facts: a full no-op, generation unchanged.
+	again, err := s.AppendFacts(FactsRequest{
+		L: []core.Pair{{From: "a", To: "b"}},
+		E: []core.Pair{{From: "b", To: "x"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Generation != 1 || again.AddedL != 0 || again.AddedE != 0 || again.AddedR != 0 {
+		t.Fatalf("idempotent re-append = %+v, want generation 1, added 0/0/0", again)
+	}
+
+	// Mixed request: only the genuinely new pair counts and bumps.
+	mixed, err := s.AppendFacts(FactsRequest{
+		L: []core.Pair{{From: "a", To: "b"}, {From: "b", To: "c"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mixed.Generation != 2 || mixed.AddedL != 1 {
+		t.Fatalf("mixed append = %+v, want generation 2, added_l 1", mixed)
+	}
+
+	// Parent expansion dedupes too: the shared endpoint bob gets one
+	// identity E pair however many parent pairs mention it, and a
+	// re-POST of the same parent pairs is again a no-op.
+	parent := FactsRequest{Parent: []core.Pair{{From: "ann", To: "bob"}, {From: "bob", To: "cat"}}}
+	pr, err := s.AppendFacts(parent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.AddedE != 3 { // ann, bob, cat — not 4
+		t.Fatalf("parent expansion added_e = %d, want 3", pr.AddedE)
+	}
+	pr2, err := s.AppendFacts(parent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr2.Generation != pr.Generation || pr2.AddedL+pr2.AddedE+pr2.AddedR != 0 {
+		t.Fatalf("parent re-append = %+v, want no-op at generation %d", pr2, pr.Generation)
+	}
+}
+
+// TestIdempotentRepostPreservesCache is the serving-path regression
+// the oracle sweep motivated: a producer re-POSTing facts the service
+// already holds must not nuke the result cache.
+func TestIdempotentRepostPreservesCache(t *testing.T) {
+	ts := httptest.NewServer(NewHandler(New(Config{Workers: 2})))
+	defer ts.Close()
+	c := ts.Client()
+
+	facts := `{"parent": [{"from":"ann","to":"bob"}, {"from":"bob","to":"cat"}]}`
+	if resp, body := postJSON(t, c, ts.URL+"/v1/facts", facts); resp.StatusCode != http.StatusOK {
+		t.Fatalf("facts: status %d: %s", resp.StatusCode, body)
+	}
+	_, body := postJSON(t, c, ts.URL+"/v1/query", `{"source": "ann"}`)
+	if q := decode[QueryResponse](t, body); q.Cached {
+		t.Fatalf("first query cached: %+v", q)
+	}
+
+	// Identical re-POST: generation must hold and the cache survive.
+	resp, body := postJSON(t, c, ts.URL+"/v1/facts", facts)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("re-POST: status %d: %s", resp.StatusCode, body)
+	}
+	if fr := decode[FactsResponse](t, body); fr.Generation != 1 {
+		t.Fatalf("re-POST generation = %d, want 1", fr.Generation)
+	}
+	_, body = postJSON(t, c, ts.URL+"/v1/query", `{"source": "ann"}`)
+	if q := decode[QueryResponse](t, body); !q.Cached || q.NewRetrievals != 0 {
+		t.Fatalf("query after idempotent re-POST missed the cache: %+v", q)
+	}
+}
+
+// TestAnswersMarshalAsEmptyArray asserts the wire format at the HTTP
+// layer: a query with no answers returns "answers": [], never null.
+func TestAnswersMarshalAsEmptyArray(t *testing.T) {
+	ts := httptest.NewServer(NewHandler(New(Config{Workers: 2})))
+	defer ts.Close()
+
+	resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/query", `{"source": "nobody"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query: status %d: %s", resp.StatusCode, body)
+	}
+	if bytes.Contains(body, []byte("null")) {
+		t.Fatalf("response contains null: %s", body)
+	}
+	if !bytes.Contains(body, []byte(`"answers": []`)) {
+		t.Fatalf(`response missing "answers": []: %s`, body)
+	}
+	// The cached path serves the same entry; it must normalize too.
+	_, body = postJSON(t, ts.Client(), ts.URL+"/v1/query", `{"source": "nobody"}`)
+	if !bytes.Contains(body, []byte(`"answers": []`)) {
+		t.Fatalf(`cached response missing "answers": []: %s`, body)
+	}
+	if q := decode[QueryResponse](t, body); !q.Cached {
+		t.Fatalf("second query not cached: %+v", q)
+	}
+}
+
+// TestRequestBodyTooLarge asserts the body cap: a request over
+// maxBodyBytes gets 413, not an unbounded buffer in the decoder.
+func TestRequestBodyTooLarge(t *testing.T) {
+	ts := httptest.NewServer(NewHandler(New(Config{Workers: 2})))
+	defer ts.Close()
+
+	huge := `{"source": "` + strings.Repeat("a", maxBodyBytes+1) + `"}`
+	resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/query", huge)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413: %.200s", resp.StatusCode, body)
+	}
+}
+
+// TestTrailingJSONRejected asserts one-value framing: concatenated
+// JSON documents are a malformed request, not silently dropped data.
+func TestTrailingJSONRejected(t *testing.T) {
+	ts := httptest.NewServer(NewHandler(New(Config{Workers: 2})))
+	defer ts.Close()
+
+	for _, body := range []string{
+		`{"source": "a"}{"source": "b"}`,
+		`{"source": "a"} 42`,
+		`{"source": "a"} garbage`,
+	} {
+		resp, out := postJSON(t, ts.Client(), ts.URL+"/v1/query", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q: status = %d, want 400: %s", body, resp.StatusCode, out)
+		}
+	}
+	// A single value with trailing whitespace stays valid.
+	resp, out := postJSON(t, ts.Client(), ts.URL+"/v1/query", `{"source": "a"}`+"\n  \n")
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("trailing whitespace rejected: status %d: %s", resp.StatusCode, out)
+	}
+}
+
+// TestLatencyRingEdgeCases covers the percentile window states the
+// basic test skips: single sample, exactly full, and wrapped-around.
+func TestLatencyRingEdgeCases(t *testing.T) {
+	// Single sample: every percentile reads it.
+	r := newLatencyRing(4)
+	r.record(7)
+	for _, p := range []float64{0.0, 0.5, 0.99, 1.0} {
+		if got := r.percentile(p); got != 7 {
+			t.Errorf("single sample p%.2f = %v, want 7", p, got)
+		}
+	}
+
+	// Exactly full window, no wrap: all samples visible.
+	r = newLatencyRing(4)
+	for _, d := range []time.Duration{40, 10, 30, 20} {
+		r.record(d)
+	}
+	if got := r.percentile(1.0); got != 40 {
+		t.Errorf("full window p100 = %v, want 40", got)
+	}
+	if got := r.percentile(0.5); got != 20 {
+		t.Errorf("full window p50 = %v, want 20 (nearest rank of 10,20,30,40)", got)
+	}
+
+	// Wrap-around: the overwritten oldest sample must not resurface.
+	r = newLatencyRing(2)
+	for _, d := range []time.Duration{100, 1, 2} { // 100 ages out
+		r.record(d)
+	}
+	if got := r.percentile(1.0); got != 2 {
+		t.Errorf("wrapped p100 = %v, want 2 (100 aged out)", got)
+	}
+	if got := r.percentile(0.0); got != 1 {
+		t.Errorf("wrapped p0 = %v, want 1", got)
+	}
+}
+
+// TestWriteErrorStatusMapping pins the error-to-status table,
+// including the 499 client-disconnect convention.
+func TestWriteErrorStatusMapping(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{fmt.Errorf("%w: empty source", ErrBadRequest), http.StatusBadRequest},
+		{fmt.Errorf("solve: %w", context.DeadlineExceeded), http.StatusGatewayTimeout},
+		{fmt.Errorf("solve: %w", context.Canceled), 499},
+		{errors.New("unexpected"), http.StatusInternalServerError},
+	}
+	for _, tc := range cases {
+		rec := httptest.NewRecorder()
+		writeError(rec, tc.err)
+		if rec.Code != tc.want {
+			t.Errorf("writeError(%v) = %d, want %d", tc.err, rec.Code, tc.want)
+		}
+		if got := decode[errorBody](t, rec.Body.Bytes()); got.Error == "" {
+			t.Errorf("writeError(%v) wrote empty error body", tc.err)
+		}
+	}
+}
+
+// FuzzServiceQuery drives the whole serving path — append, solve
+// every method, cache — against the oracle on generator-derived
+// instances, and asserts the idempotent-re-POST invariant on each.
+func FuzzServiceQuery(f *testing.F) {
+	f.Add(uint8(0), int64(1), uint8(1))
+	f.Add(uint8(1), int64(2), uint8(1))
+	f.Add(uint8(2), int64(3), uint8(2))
+	f.Add(uint8(3), int64(4), uint8(2))
+	f.Add(uint8(200), int64(5), uint8(0)) // adversarial selector
+	f.Fuzz(func(t *testing.T, kindByte uint8, seed int64, size uint8) {
+		var q core.Query
+		if kindByte >= 128 {
+			q = workload.Adversarial(int(kindByte-128), seed)
+		} else {
+			q = workload.RandomRegime(workload.RegimeKind(kindByte%4), seed, 1+int(size%3))
+		}
+		l, e, r, src := oracle.FromQuery(q)
+		want := oracle.AnswersMemo(l, e, r, src)
+
+		s := New(Config{Workers: 2})
+		ctx := context.Background()
+		req := FactsRequest{L: q.L, E: q.E, R: q.R}
+		first, err := s.AppendFacts(req)
+		if err != nil {
+			t.Fatalf("append: %v", err)
+		}
+
+		check := func(label string, resp *QueryResponse) {
+			if resp.Answers == nil {
+				t.Fatalf("%s: nil Answers", label)
+			}
+			if len(resp.Answers) != len(want) {
+				t.Fatalf("%s: answers %v, oracle wants %v", label, resp.Answers, want)
+			}
+			for i := range want {
+				if resp.Answers[i] != want[i] {
+					t.Fatalf("%s: answers %v, oracle wants %v", label, resp.Answers, want)
+				}
+			}
+		}
+		auto, err := s.Query(ctx, QueryRequest{Source: q.Source})
+		if err != nil {
+			t.Fatalf("auto query: %v", err)
+		}
+		check("auto", auto)
+		for _, strat := range []string{"basic", "single", "multiple", "recurring"} {
+			for _, mode := range []string{"independent", "integrated"} {
+				resp, err := s.Query(ctx, QueryRequest{Source: q.Source, Strategy: strat, Mode: mode})
+				if err != nil {
+					t.Fatalf("%s/%s: %v", strat, mode, err)
+				}
+				check(strat+"/"+mode, resp)
+			}
+		}
+
+		// Idempotent re-POST: same facts, same generation, cache intact.
+		again, err := s.AppendFacts(req)
+		if err != nil {
+			t.Fatalf("re-append: %v", err)
+		}
+		if again.Generation != first.Generation {
+			t.Fatalf("re-append bumped generation %d -> %d", first.Generation, again.Generation)
+		}
+		cached, err := s.Query(ctx, QueryRequest{Source: q.Source})
+		if err != nil {
+			t.Fatalf("cached query: %v", err)
+		}
+		if !cached.Cached || cached.NewRetrievals != 0 {
+			t.Fatalf("query after idempotent re-POST missed the cache: %+v", cached)
+		}
+		check("cached", cached)
+	})
+}

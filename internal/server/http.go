@@ -4,6 +4,8 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
+	"io"
 	"net/http"
 )
 
@@ -59,10 +61,32 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
+// maxBodyBytes bounds request bodies. Fact loads are the largest
+// legitimate requests; 8 MiB holds hundreds of thousands of pairs,
+// while an unbounded body would let one client buffer arbitrary
+// memory into the decoder.
+const maxBodyBytes = 8 << 20
+
 func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				errorBody{Error: fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit)})
+			return err
+		}
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad JSON: " + err.Error()})
+		return err
+	}
+	// Exactly one JSON value per request: trailing content means the
+	// client framed the request wrong, and silently ignoring it would
+	// drop data the client believed it sent.
+	var trailing json.RawMessage
+	if err := dec.Decode(&trailing); err != io.EOF {
+		err = errors.New("trailing data after JSON body")
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad JSON: " + err.Error()})
 		return err
 	}

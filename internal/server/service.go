@@ -85,8 +85,12 @@ type Service struct {
 
 	mu         sync.RWMutex // guards the fact slices, generation, cache
 	l, e, r    []core.Pair
-	generation uint64
-	cache      map[cacheKey]*cacheEntry
+	// Membership sets mirror the slices so appends dedupe in O(1):
+	// relations are sets, and re-POSTing facts already present must
+	// not invalidate the result cache.
+	lSet, eSet, rSet map[core.Pair]bool
+	generation       uint64
+	cache            map[cacheKey]*cacheEntry
 
 	start time.Time
 	lat   *latencyRing
@@ -106,6 +110,9 @@ func New(cfg Config) *Service {
 	return &Service{
 		cfg:   cfg,
 		sem:   make(chan struct{}, cfg.Workers),
+		lSet:  make(map[core.Pair]bool),
+		eSet:  make(map[core.Pair]bool),
+		rSet:  make(map[core.Pair]bool),
 		cache: make(map[cacheKey]*cacheEntry),
 		start: time.Now(),
 		lat:   newLatencyRing(cfg.LatencyWindow),
@@ -243,7 +250,7 @@ func (s *Service) query(ctx context.Context, req QueryRequest) (*QueryResponse, 
 	if entry != nil && entry.generation == gen {
 		s.cacheHits.Add(1)
 		return &QueryResponse{
-			Answers:       entry.result.Answers,
+			Answers:       nonNilAnswers(entry.result.Answers),
 			Stats:         entry.result.Stats,
 			Strategy:      entry.strategy.String(),
 			Mode:          entry.mode.String(),
@@ -292,7 +299,7 @@ func (s *Service) query(ctx context.Context, req QueryRequest) (*QueryResponse, 
 	s.mu.Unlock()
 
 	return &QueryResponse{
-		Answers:       res.Answers,
+		Answers:       nonNilAnswers(res.Answers),
 		Stats:         res.Stats,
 		Strategy:      strategy.String(),
 		Mode:          mode.String(),
@@ -303,6 +310,16 @@ func (s *Service) query(ctx context.Context, req QueryRequest) (*QueryResponse, 
 		NewRetrievals: res.Stats.Retrievals,
 		Generation:    gen,
 	}, nil
+}
+
+// nonNilAnswers pins the no-answers case to an empty non-nil slice so
+// the HTTP layer marshals "answers": [], never null — clients index
+// into the field without a presence check.
+func nonNilAnswers(a []string) []string {
+	if a == nil {
+		return []string{}
+	}
+	return a
 }
 
 // evictOneLocked drops one cache entry, preferring a stale one. The
@@ -344,10 +361,14 @@ type FactsResponse struct {
 	AddedR     int    `json:"added_r"`
 }
 
-// AppendFacts appends the request's pairs and bumps the cache
-// generation when anything was added. The fact slices are replaced
-// copy-on-write, so queries already holding the previous snapshot
-// keep evaluating an immutable database.
+// AppendFacts appends the request's pairs that the database does not
+// already hold and bumps the cache generation only when something new
+// was added: relations are sets, so re-POSTing known facts (a retried
+// load, an idempotent producer) is a no-op that leaves every cached
+// result valid. Added counts report actually-added pairs, after
+// deduplication against the database and within the request. The fact
+// slices are replaced copy-on-write, so queries already holding the
+// previous snapshot keep evaluating an immutable database.
 func (s *Service) AppendFacts(req FactsRequest) (*FactsResponse, error) {
 	for _, set := range [][]core.Pair{req.L, req.E, req.R, req.Parent} {
 		for _, p := range set {
@@ -359,28 +380,32 @@ func (s *Service) AppendFacts(req FactsRequest) (*FactsResponse, error) {
 	addL := append([]core.Pair(nil), req.L...)
 	addE := append([]core.Pair(nil), req.E...)
 	addR := append([]core.Pair(nil), req.R...)
-	if len(req.Parent) > 0 {
-		seen := make(map[string]bool)
-		for _, p := range req.Parent {
-			addL = append(addL, p)
-			addR = append(addR, p)
-			for _, x := range [2]string{p.From, p.To} {
-				if !seen[x] {
-					seen[x] = true
-					addE = append(addE, core.Pair{From: x, To: x})
-				}
-			}
-		}
+	for _, p := range req.Parent {
+		addL = append(addL, p)
+		addR = append(addR, p)
+		addE = append(addE, core.Pair{From: p.From, To: p.From}, core.Pair{From: p.To, To: p.To})
 	}
 	s.factAppends.Add(1)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	addL = dedupePending(s.lSet, addL)
+	addE = dedupePending(s.eSet, addE)
+	addR = dedupePending(s.rSet, addR)
 	if len(addL)+len(addE)+len(addR) == 0 {
 		return &FactsResponse{Generation: s.generation}, nil
 	}
 	s.l = appendCOW(s.l, addL)
 	s.e = appendCOW(s.e, addE)
 	s.r = appendCOW(s.r, addR)
+	for _, p := range addL {
+		s.lSet[p] = true
+	}
+	for _, p := range addE {
+		s.eSet[p] = true
+	}
+	for _, p := range addR {
+		s.rSet[p] = true
+	}
 	s.generation++
 	// Stale entries are unreachable (generation mismatch) and would
 	// only occupy cache slots until evicted; drop them now.
@@ -395,6 +420,27 @@ func (s *Service) AppendFacts(req FactsRequest) (*FactsResponse, error) {
 		AddedE:     len(addE),
 		AddedR:     len(addR),
 	}, nil
+}
+
+// dedupePending filters add down to the pairs not in present, also
+// dropping duplicates within add itself. present is read, never
+// written: a request that turns out to be a full no-op must leave the
+// membership sets untouched. add is filtered in place (it is always a
+// request-local copy).
+func dedupePending(present map[core.Pair]bool, add []core.Pair) []core.Pair {
+	if len(add) == 0 {
+		return nil
+	}
+	out := add[:0]
+	seen := make(map[core.Pair]bool, len(add))
+	for _, p := range add {
+		if present[p] || seen[p] {
+			continue
+		}
+		seen[p] = true
+		out = append(out, p)
+	}
+	return out
 }
 
 // appendCOW appends add to base without ever growing base's backing
