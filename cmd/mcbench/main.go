@@ -11,6 +11,7 @@
 //	mcbench -json                 # also write BENCH_<timestamp>.json
 //	mcbench -json -micro          # include ns/op + allocs/op micro benchmarks
 //	mcbench -compare BENCH_x.json # regression-check against a baseline
+//	mcbench -traceguard           # tracing-overhead guard: disabled vs unsampled
 package main
 
 import (
@@ -45,8 +46,22 @@ func run(args []string, stdout io.Writer) error {
 	comparePath := fs.String("compare", "", "baseline BENCH_*.json: fail on retrieval-count drift or micro ns/op regressions beyond -tolerance")
 	tolerance := fs.Float64("tolerance", 0.15, "allowed fractional micro ns/op regression for -compare")
 	benchRounds := fs.Int("benchrounds", 3, "micro benchmark repetitions; the fastest round is recorded")
+	traceGuard := fs.Bool("traceguard", false, "compare tracing-disabled vs enabled-but-unsampled hot paths; fail on slowdown beyond -trace-tolerance or any retrieval-count drift")
+	traceTolerance := fs.Float64("trace-tolerance", 0.02, "allowed fractional slowdown of the unsampled path for -traceguard")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *traceGuard {
+		out := stdout
+		if *outPath != "" {
+			f, err := os.Create(*outPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			out = f
+		}
+		return runTraceGuard(*benchRounds, *traceTolerance, out)
 	}
 	var baseline *benchFile
 	if *comparePath != "" {
@@ -126,6 +141,39 @@ func run(args []string, stdout io.Writer) error {
 	default:
 		return fmt.Errorf("unknown format %q (want text or json)", *format)
 	}
+}
+
+// runTraceGuard runs the tracing-overhead guard: every instrumented
+// solver path, tracing disabled vs enabled-but-unsampled. Any
+// retrieval-count difference is an instrumentation bug (spans must
+// never charge the meter); a disabled-vs-unsampled slowdown beyond
+// tolerance means the "pays nothing when off" contract broke.
+func runTraceGuard(rounds int, tolerance float64, out io.Writer) error {
+	guards, err := bench.RunTraceGuard(rounds)
+	if err != nil {
+		return err
+	}
+	var violations []string
+	for _, g := range guards {
+		fmt.Fprintf(out, "traceguard: %-28s disabled %.1f ns/op, unsampled %.1f ns/op, retrievals %d/%d\n",
+			g.Name, g.DisabledNsPerOp, g.UnsampledNsPerOp, g.RetrievalsDisabled, g.RetrievalsUnsampled)
+		if g.RetrievalsDisabled != g.RetrievalsUnsampled {
+			violations = append(violations, fmt.Sprintf("%s: retrievals drifted, %d disabled vs %d unsampled (instrumentation charged the meter)",
+				g.Name, g.RetrievalsDisabled, g.RetrievalsUnsampled))
+		}
+		if g.DisabledNsPerOp > 0 && g.UnsampledNsPerOp > g.DisabledNsPerOp*(1+tolerance) {
+			violations = append(violations, fmt.Sprintf("%s: unsampled %.1f ns/op vs disabled %.1f (>%.0f%% overhead)",
+				g.Name, g.UnsampledNsPerOp, g.DisabledNsPerOp, tolerance*100))
+		}
+	}
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(out, "TRACE-OVERHEAD:", v)
+		}
+		return fmt.Errorf("%d trace-overhead violation(s)", len(violations))
+	}
+	fmt.Fprintln(out, "traceguard: OK")
+	return nil
 }
 
 // benchExperiment is one experiment's machine-readable record: its

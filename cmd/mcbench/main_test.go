@@ -175,3 +175,21 @@ func TestErrors(t *testing.T) {
 		t.Error("unknown format should fail")
 	}
 }
+
+// TestTraceGuardFlag runs the tracing-overhead guard in its cheap
+// drift-only mode (-benchrounds 0 skips the timing loops).
+func TestTraceGuardFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-traceguard", "-benchrounds", "0"}, &buf); err != nil {
+		t.Fatalf("traceguard failed: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "traceguard: OK") {
+		t.Fatalf("no OK verdict:\n%s", out)
+	}
+	for _, probe := range []string{"solve/counting-tree", "solve/mc-recurring-int-tree", "engine/seminaive-chain"} {
+		if !strings.Contains(out, probe) {
+			t.Errorf("guard output missing probe %s:\n%s", probe, out)
+		}
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"magiccounting/internal/datalog"
 	"magiccounting/internal/engine"
 	"magiccounting/internal/harness"
+	"magiccounting/internal/obs"
 	"magiccounting/internal/relation"
 	"magiccounting/internal/rewrite"
 )
@@ -45,6 +46,7 @@ func run(args []string, out io.Writer) error {
 			"any core method ("+strings.Join(harness.MethodNames(), ", ")+"),\n"+
 			"or mc-<strategy>-<mode>-rewrite to run magic counting on the generic engine")
 	showStats := fs.Bool("stats", false, "print cost statistics")
+	showTrace := fs.Bool("trace", false, "print the per-stage span tree (durations and tuple retrievals) after the answers")
 	maxIter := fs.Int("max-iterations", engine.DefaultMaxIterations, "fixpoint iteration guard")
 	interactive := fs.Bool("i", false, "interactive session (reads clauses and queries from stdin)")
 	explain := fs.String("explain", "", "explain a magic counting run instead of just answering: <strategy>-<mode>, e.g. multiple-int")
@@ -54,6 +56,9 @@ func run(args []string, out io.Writer) error {
 	if *interactive {
 		if fs.NArg() != 0 {
 			return fmt.Errorf("interactive mode takes no file argument")
+		}
+		if *showTrace {
+			return fmt.Errorf("-trace is not available in interactive mode")
 		}
 		return repl(os.Stdin, out, *method, *maxIter)
 	}
@@ -91,11 +96,14 @@ func run(args []string, out io.Writer) error {
 		}
 		return core.Explain(out, q, strategy, mode)
 	}
-	return evaluate(prog, goal, *method, *showStats, *maxIter, out)
+	return evaluate(prog, goal, *method, *showStats, *showTrace, *maxIter, out)
 }
 
-func evaluate(prog *datalog.Program, goal datalog.Atom, method string, showStats bool, maxIter int, out io.Writer) error {
+func evaluate(prog *datalog.Program, goal datalog.Atom, method string, showStats, showTrace bool, maxIter int, out io.Writer) error {
 	opts := engine.Options{MaxIterations: maxIter}
+	if showTrace {
+		opts.Trace = obs.New(method, 0)
+	}
 	switch {
 	case method == "naive" || method == "seminaive":
 		opts.Naive = method == "naive"
@@ -131,7 +139,17 @@ func evaluate(prog *datalog.Program, goal datalog.Atom, method string, showStats
 		if err != nil {
 			return fmt.Errorf("method %s needs a canonical strongly linear query: %w", method, err)
 		}
-		res, err := def.Run(q)
+		var res *core.Result
+		var tr *obs.Trace
+		if showTrace {
+			if def.RunOpts == nil {
+				return fmt.Errorf("method %q does not support tracing", method)
+			}
+			tr = obs.New(method, 0)
+			res, err = def.RunOpts(q, core.Options{Trace: tr})
+		} else {
+			res, err = def.Run(q)
+		}
 		if err != nil {
 			return err
 		}
@@ -145,6 +163,9 @@ func evaluate(prog *datalog.Program, goal datalog.Atom, method string, showStats
 				fmt.Fprintf(out, "-- |MS|=%d |RM|=%d |RC|=%d regular=%v\n",
 					res.Stats.MagicSetSize, res.Stats.RMSize, res.Stats.RCSize, res.Stats.Regular)
 			}
+		}
+		if tr != nil {
+			return obs.WriteText(out, tr.Finish(res.Stats.Retrievals))
 		}
 		return nil
 	}
@@ -177,6 +198,9 @@ func runEngine(prog *datalog.Program, goal datalog.Atom, opts engine.Options, sh
 	}
 	if showStats {
 		fmt.Fprintf(out, "-- %d answers, %d tuple retrievals\n", len(seen), store.Meter().Retrievals())
+	}
+	if opts.Trace != nil {
+		return obs.WriteText(out, opts.Trace.Finish(store.Meter().Retrievals()))
 	}
 	return nil
 }

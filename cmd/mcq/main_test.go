@@ -236,3 +236,48 @@ func TestParseMCName(t *testing.T) {
 		}
 	}
 }
+
+// TestTraceFlagCoreMethod: -trace prints the span tree after the
+// answers, with the stage spans and exact retrieval accounting the
+// core solver records.
+func TestTraceFlagCoreMethod(t *testing.T) {
+	path := writeProgram(t, sampleProgram)
+	out, err := runMCQ(t, "-method", "mc-multiple-int", "-trace", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "a\nx\n") {
+		t.Fatalf("answers missing or reordered: %q", out)
+	}
+	for _, want := range []string{"mc-multiple-int", "step1/multiple", "step2/integrated", "retrievals="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestTraceFlagEngineMethod: the engine paths trace too, with
+// stratum and round spans.
+func TestTraceFlagEngineMethod(t *testing.T) {
+	path := writeProgram(t, sampleProgram)
+	out, err := runMCQ(t, "-method", "seminaive", "-trace", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"seminaive", "load", "stratum/0", "round"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("engine trace missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestTraceFlagUnsupported: methods without an options entry point
+// refuse -trace instead of silently ignoring it. ("naive" is not
+// here: mcq routes it to the engine evaluator, which traces.)
+func TestTraceFlagUnsupported(t *testing.T) {
+	path := writeProgram(t, sampleProgram)
+	if _, err := runMCQ(t, "-method", "magic", "-trace", path); err == nil ||
+		!strings.Contains(err.Error(), "does not support tracing") {
+		t.Errorf("magic -trace: err = %v, want unsupported-tracing error", err)
+	}
+}

@@ -57,7 +57,7 @@ func repl(in io.Reader, out io.Writer, method string, maxIter int) error {
 		for _, goal := range chunk.Queries {
 			// Evaluate on a copy so queries never pollute the session.
 			snapshot := &datalog.Program{Facts: prog.Facts, Rules: prog.Rules}
-			if err := evaluate(snapshot, goal, method, true, maxIter, out); err != nil {
+			if err := evaluate(snapshot, goal, method, true, false, maxIter, out); err != nil {
 				fmt.Fprintln(out, "error:", err)
 			}
 		}

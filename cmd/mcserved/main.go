@@ -8,6 +8,10 @@
 //	mcserved                       # listen on :8377
 //	mcserved -addr :9000 -workers 8 -timeout 5s
 //	mcserved -debug-addr :6060     # also serve net/http/pprof there
+//	mcserved -quiet                # no per-request log lines
+//
+// Every request is logged via log/slog with a sequential request id
+// that is also echoed in the X-Request-Id response header.
 //
 // API (JSON unless noted):
 //
@@ -25,19 +29,64 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"magiccounting/internal/server"
 )
+
+// statusWriter captures the response status and byte count for the
+// request log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// requestLog wraps h with structured request logging: every request
+// gets a sequential id, echoed back in X-Request-Id and attached to
+// its log line so a client-reported failure can be matched to the
+// server-side record.
+func requestLog(h http.Handler, log *slog.Logger) http.Handler {
+	var seq atomic.Int64
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := fmt.Sprintf("req-%06d", seq.Add(1))
+		w.Header().Set("X-Request-Id", id)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		started := time.Now()
+		h.ServeHTTP(sw, r)
+		log.Info("request",
+			"id", id,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"bytes", sw.bytes,
+			"elapsed_ms", float64(time.Since(started).Microseconds())/1000,
+			"remote", r.RemoteAddr)
+	})
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout, nil); err != nil {
@@ -55,6 +104,7 @@ func run(args []string, stdout io.Writer, ready chan<- net.Addr) error {
 	timeout := fs.Duration("timeout", 30*time.Second, "default per-query timeout")
 	cacheCap := fs.Int("cache", 1024, "result-cache capacity (entries)")
 	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof on this address (disabled when empty; keep it off public interfaces)")
+	quiet := fs.Bool("quiet", false, "suppress per-request log lines")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -67,8 +117,12 @@ func run(args []string, stdout io.Writer, ready chan<- net.Addr) error {
 	if err != nil {
 		return err
 	}
+	handler := http.Handler(server.NewHandler(svc))
+	if !*quiet {
+		handler = requestLog(handler, slog.New(slog.NewTextHandler(stdout, nil)))
+	}
 	srv := &http.Server{
-		Handler:           server.NewHandler(svc),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	var debugSrv *http.Server
@@ -102,14 +156,33 @@ func run(args []string, stdout io.Writer, ready chan<- net.Addr) error {
 	go func() { errc <- srv.Serve(ln) }()
 	select {
 	case err := <-errc:
+		// ErrServerClosed means an orderly Shutdown elsewhere, not a
+		// serving failure; reporting it as an error would flip the exit
+		// status of every clean stop.
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
 		return err
 	case sig := <-stop:
 		fmt.Fprintf(stdout, "mcserved: %v, shutting down\n", sig)
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
-		if debugSrv != nil {
-			debugSrv.Shutdown(ctx)
+		// Stop accepting and wait for in-flight handlers, then drain
+		// the solver pool, then the debug listener. Every error is
+		// kept: a failed drain must not be masked by a clean listener
+		// close (or vice versa).
+		var errs []error
+		if err := srv.Shutdown(ctx); err != nil {
+			errs = append(errs, fmt.Errorf("server shutdown: %w", err))
 		}
-		return srv.Shutdown(ctx)
+		if err := svc.Close(ctx); err != nil {
+			errs = append(errs, err)
+		}
+		if debugSrv != nil {
+			if err := debugSrv.Shutdown(ctx); err != nil {
+				errs = append(errs, fmt.Errorf("debug server shutdown: %w", err))
+			}
+		}
+		return errors.Join(errs...)
 	}
 }

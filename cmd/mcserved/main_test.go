@@ -54,6 +54,11 @@ func TestServeAndShutdown(t *testing.T) {
 	if fmt.Sprint(q.Answers) != fmt.Sprint([]string{"amy", "ann"}) {
 		t.Fatalf("answers = %v, want [amy ann]", q.Answers)
 	}
+	// Request logging: every response carries a request id.
+	id := resp.Header.Get("X-Request-Id")
+	if id == "" {
+		t.Fatal("no X-Request-Id header on the query response")
+	}
 
 	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
 		t.Fatal(err)
@@ -68,6 +73,53 @@ func TestServeAndShutdown(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "listening on") || !strings.Contains(out.String(), "shutting down") {
 		t.Fatalf("unexpected log output: %q", out.String())
+	}
+	// The log buffer is only safe to read now, after Shutdown has
+	// waited out every handler: the id echoed to the client must
+	// appear in the structured log next to the request path.
+	if !strings.Contains(out.String(), "id="+id) || !strings.Contains(out.String(), "path=/v1/query") {
+		t.Fatalf("request log missing id %q or path: %q", id, out.String())
+	}
+}
+
+// TestQuietSuppressesRequestLog: -quiet drops per-request lines (and
+// the X-Request-Id header that comes with the middleware) but keeps
+// the lifecycle messages.
+func TestQuietSuppressesRequestLog(t *testing.T) {
+	var out bytes.Buffer
+	ready := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() { done <- run([]string{"-addr", "127.0.0.1:0", "-quiet"}, &out, ready) }()
+	var addr net.Addr
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("server exited early: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	resp, err := http.Post(fmt.Sprintf("http://%s/v1/query", addr), "application/json",
+		strings.NewReader(`{"source": "nobody"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if id := resp.Header.Get("X-Request-Id"); id != "" {
+		t.Fatalf("quiet server still sets X-Request-Id %q", id)
+	}
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+	if strings.Contains(out.String(), "msg=request") {
+		t.Fatalf("quiet server logged requests: %q", out.String())
 	}
 }
 

@@ -1,0 +1,29 @@
+package bench
+
+import "testing"
+
+// TestTraceGuardNoDrift is the cheap (timing-free) half of the trace
+// guard: across every instrumented path, an enabled-but-unsampled
+// trace must charge exactly the retrievals the disabled path does.
+func TestTraceGuardNoDrift(t *testing.T) {
+	guards, err := RunTraceGuard(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(guards) == 0 {
+		t.Fatal("no trace probes ran")
+	}
+	for _, g := range guards {
+		if g.RetrievalsDisabled != g.RetrievalsUnsampled {
+			t.Errorf("%s: retrievals drifted, %d disabled vs %d unsampled",
+				g.Name, g.RetrievalsDisabled, g.RetrievalsUnsampled)
+		}
+		if g.RetrievalsDisabled == 0 {
+			t.Errorf("%s: probe charged no retrievals — not exercising the hot path", g.Name)
+		}
+		if g.DisabledNsPerOp != 0 || g.UnsampledNsPerOp != 0 {
+			t.Errorf("%s: rounds=0 should skip timing, got %v/%v ns",
+				g.Name, g.DisabledNsPerOp, g.UnsampledNsPerOp)
+		}
+	}
+}

@@ -67,19 +67,30 @@ func (s *levelSet) maxLevel() int {
 // paper's "unsafe" verdict into a clean error instead of divergence.
 // iterations receives one tick per level computed.
 func (in *instance) countingSets() (*levelSet, int, error) {
+	sp := in.tr.Start("counting", in.retrievals)
 	cs := newLevelSet()
 	cs.add(0, in.src)
 	n := len(in.lNames)
 	iterations := 0
+	rt := roundTrace{in: in}
 	for j := 0; len(cs.at(j)) > 0 && !in.stopped(); j++ {
+		rt.begin(j, len(cs.at(j)))
 		iterations++
 		if j+1 > n {
+			rt.done()
+			in.tr.End(sp, in.retrievals)
 			return nil, iterations, ErrUnsafe
 		}
 		// Semijoin CS ⋉ L over the frontier, sharded when workers are
 		// configured; each node costs 1 + len(lOut[x]).
 		in.expandLevel(cs, cs.at(j), in.lOut, j+1)
 	}
+	rt.done()
+	if sp != nil {
+		sp.Set("iterations", int64(iterations))
+		sp.Set("cs_pairs", int64(cs.pairs))
+	}
+	in.tr.End(sp, in.retrievals)
 	return cs, iterations, nil
 }
 
@@ -87,9 +98,15 @@ func (in *instance) countingSets() (*levelSet, int, error) {
 //
 //	P_C(J, Y) :- seed(J, X), E(X, Y).
 func (in *instance) seedExit(pc, seed *levelSet) {
+	sp := in.tr.Start("exit", in.retrievals)
 	for j := 0; j < len(seed.levels) && !in.stopped(); j++ {
 		in.expandLevel(pc, seed.at(j), in.eOut, j)
 	}
+	if sp != nil {
+		sp.Set("levels", int64(len(seed.levels)))
+		sp.Set("seeded", int64(pc.pairs))
+	}
+	in.tr.End(sp, in.retrievals)
 }
 
 // descend runs the counting descent to completion:
@@ -99,15 +116,24 @@ func (in *instance) seedExit(pc, seed *levelSet) {
 //
 // returning the answer node set and one iteration tick per level.
 func (in *instance) descend(pc *levelSet) (*denseSet, int) {
+	sp := in.tr.Start("descent", in.retrievals)
 	iterations := 0
+	rt := roundTrace{in: in}
 	for j := pc.maxLevel(); j >= 1 && !in.stopped(); j-- {
+		rt.begin(j, len(pc.at(j)))
 		iterations++
 		in.expandLevel(pc, pc.at(j), in.rOut, j-1)
 	}
+	rt.done()
 	answers := &denseSet{}
 	for _, y := range pc.at(0) {
 		answers.add(y)
 	}
+	if sp != nil {
+		sp.Set("iterations", int64(iterations))
+		sp.Set("answers", int64(answers.size()))
+	}
+	in.tr.End(sp, in.retrievals)
 	return answers, iterations
 }
 

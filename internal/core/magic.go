@@ -70,6 +70,7 @@ func (p *pairSet) bySource(x int32) []int32 { return p.byX[x].members() }
 // L-probe already paid by the recursive rule (the paper notes rule
 // 3's cost is "already included in the cost of the magic set part").
 func (in *instance) magicPairs(exit []int32, rec []bool, boundary func(x, y1 int32)) (*pairSet, int) {
+	sp := in.tr.Start("magic", in.retrievals)
 	pm := newPairSet(len(in.lNames))
 	type pair struct{ x, y int32 }
 	var work []pair
@@ -108,6 +109,12 @@ func (in *instance) magicPairs(exit []int32, rec []bool, boundary func(x, y1 int
 			}
 		}
 	}
+	if sp != nil {
+		sp.Set("iterations", int64(iterations))
+		sp.Set("exit_nodes", int64(len(exit)))
+		sp.Set("pairs", int64(pm.count))
+	}
+	in.tr.End(sp, in.retrievals)
 	return pm, iterations
 }
 

@@ -24,6 +24,7 @@ import (
 	"sort"
 
 	"magiccounting/internal/graph"
+	"magiccounting/internal/obs"
 )
 
 // ErrUnsafe reports that the pure counting method would not terminate:
@@ -91,6 +92,11 @@ type instance struct {
 	workers      int // frontier workers; <= 1 means sequential
 	parThreshold int // min frontier size for a parallel round
 
+	// tr receives the run's span tree; nil when tracing is off, in
+	// which case every instrumentation point is one nil check at a
+	// stage or round boundary — never per tuple.
+	tr *obs.Trace
+
 	ctx       context.Context // nil when cancellation is disabled
 	ctxStride int64           // charges since the last deadline poll
 	ctxErr    error           // sticky ctx.Err(), set once observed
@@ -112,9 +118,10 @@ func (in *instance) setContext(ctx context.Context) {
 	in.ctx = ctx
 }
 
-// configure applies run options: cancellation context and the frontier
-// worker pool.
+// configure applies run options: cancellation context, the frontier
+// worker pool, and the trace sink.
 func (in *instance) configure(opts Options) {
+	in.tr = opts.Trace
 	in.setContext(opts.Ctx)
 	in.workers = resolveWorkers(opts.Workers)
 	in.parThreshold = opts.ParallelThreshold

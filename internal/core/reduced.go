@@ -151,7 +151,9 @@ func (in *instance) flaggedBFS() (firstIdx []int, flagged []bool, ix int, iterat
 			}
 		}
 	}
+	rt := roundTrace{in: in}
 	for lvl := 0; len(level) > 0 && !in.stopped(); lvl++ {
+		rt.begin(lvl, len(level))
 		iterations++
 		var next []int32
 		for _, x := range level {
@@ -171,6 +173,7 @@ func (in *instance) flaggedBFS() (firstIdx []int, flagged []bool, ix int, iterat
 		}
 		level = next
 	}
+	rt.done()
 	if ix == -1 {
 		ix = n + 1 // regular: every level counts as below i_x
 	}
@@ -266,7 +269,9 @@ func (in *instance) step1Multiple(integrated bool) *ReducedSets {
 	idx1[in.src] = 0
 	level := []int32{in.src}
 	iterations := 0
+	rt := roundTrace{in: in}
 	for lvl := 0; len(level) > 0 && !in.stopped(); lvl++ {
+		rt.begin(lvl, len(level))
 		iterations++
 		var next []int32
 		for _, x := range level {
@@ -287,6 +292,7 @@ func (in *instance) step1Multiple(integrated bool) *ReducedSets {
 		}
 		level = next
 	}
+	rt.done()
 	rs := &ReducedSets{
 		MS:         make([]bool, n),
 		RM:         make([]bool, n),
@@ -322,7 +328,9 @@ func (in *instance) step1RecurringNaive(integrated bool) *ReducedSets {
 	seen := &denseSet{}
 	seen.add(in.src)
 	iterations := 0
+	rt := roundTrace{in: in}
 	for j := 0; len(cs.at(j)) > 0 && j < 2*seen.size()-1 && !in.stopped(); j++ {
+		rt.begin(j, len(cs.at(j)))
 		iterations++
 		for _, x := range cs.at(j) {
 			in.charge(1 + int64(len(in.lOut[x])))
@@ -334,6 +342,7 @@ func (in *instance) step1RecurringNaive(integrated bool) *ReducedSets {
 			}
 		}
 	}
+	rt.done()
 	n := len(in.lNames)
 	k := seen.size()
 	rs := &ReducedSets{

@@ -89,9 +89,15 @@ func ChooseMethod(q Query) Selection {
 // returning the selection alongside the result. opts supplies run
 // options (notably Ctx); the selection's own Options are merged in.
 func (q Query) SolveAuto(opts Options) (*Result, Selection, error) {
+	cs := opts.Trace.Start("classify", 0)
 	sel := ChooseMethod(q)
+	if cs != nil {
+		cs.Name = "classify/" + sel.Regime.String()
+	}
+	opts.Trace.End(cs, 0)
 	run := sel.Options
 	run.Ctx = opts.Ctx
+	run.Trace = opts.Trace
 	res, err := q.SolveMagicCountingOpts(sel.Strategy, sel.Mode, run)
 	return res, sel, err
 }

@@ -3,6 +3,8 @@ package core
 import (
 	"context"
 	"fmt"
+
+	"magiccounting/internal/obs"
 )
 
 // Options tunes a magic counting run.
@@ -25,6 +27,13 @@ type Options struct {
 	// sharded across Workers; smaller frontiers run sequentially. 0
 	// selects a sensible default.
 	ParallelThreshold int
+	// Trace, when non-nil and armed, receives the run's span tree:
+	// Step 1 and Step 2 stage spans with per-round children, each
+	// carrying its duration, the tuple retrievals it charged, and
+	// frontier sizes. Tracing never charges the meter, so results and
+	// retrieval counts are identical with and without it; disabled
+	// (nil) it costs one nil check per stage or round boundary.
+	Trace *obs.Trace
 }
 
 // SolveMagicCounting evaluates the query with the magic counting
@@ -44,9 +53,14 @@ func (q Query) SolveMagicCountingCtx(ctx context.Context, strategy Strategy, mod
 
 // SolveMagicCountingOpts is SolveMagicCounting with explicit options.
 func (q Query) SolveMagicCountingOpts(strategy Strategy, mode Mode, opts Options) (*Result, error) {
+	bs := opts.Trace.Start("build", 0)
 	in := build(q)
 	in.configure(opts)
+	bs.Set("l_nodes", int64(len(in.lNames)))
+	bs.Set("r_nodes", int64(len(in.rNames)))
+	in.tr.End(bs, 0)
 	integrated := mode == Integrated
+	s1 := in.tr.Start("step1/"+strategy.String(), in.retrievals)
 	var rs *ReducedSets
 	switch strategy {
 	case Basic:
@@ -64,10 +78,21 @@ func (q Query) SolveMagicCountingOpts(strategy Strategy, mode Mode, opts Options
 	default:
 		return nil, fmt.Errorf("core: unknown strategy %v", strategy)
 	}
+	rm, rc := rs.counts()
+	if s1 != nil {
+		s1.Set("iterations", int64(rs.Iterations))
+		s1.Set("rm", int64(rm))
+		s1.Set("rc", int64(rc))
+		if rs.Regular {
+			s1.Set("regular", 1)
+		}
+	}
+	in.tr.End(s1, in.retrievals)
 	in.pollCtx()
 	if in.stopped() {
 		return nil, in.ctxErr
 	}
+	s2 := in.tr.Start("step2/"+mode.String(), in.retrievals)
 	var answers *denseSet
 	var iter int
 	if integrated {
@@ -75,10 +100,14 @@ func (q Query) SolveMagicCountingOpts(strategy Strategy, mode Mode, opts Options
 	} else {
 		answers, iter = in.solveIndependent(rs)
 	}
+	if s2 != nil {
+		s2.Set("iterations", int64(iter))
+		s2.Set("answers", int64(answers.size()))
+	}
+	in.tr.End(s2, in.retrievals)
 	if in.stopped() {
 		return nil, in.ctxErr
 	}
-	rm, rc := rs.counts()
 	msSize := 0
 	for _, inMS := range rs.MS {
 		if inMS {

@@ -1,0 +1,65 @@
+package core
+
+import "magiccounting/internal/obs"
+
+// traceRoundCap bounds the per-round child spans one fixpoint phase
+// emits: a deep recursion would otherwise turn the trace into one
+// span per level. Rounds past the cap merge into a single tail span,
+// which keeps the meter-delta accounting exact — the tail span's
+// retrievals are simply the remaining rounds' total.
+const traceRoundCap = 64
+
+// roundTrace emits the per-round spans of one fixpoint loop as
+// sequential children of the currently open phase span. It is a stack
+// value; with tracing disabled every call is a nil check. Usage:
+//
+//	rt := roundTrace{in: in}
+//	for ... { rt.begin(lvl, len(frontier)); ... }
+//	rt.done()
+type roundTrace struct {
+	in   *instance
+	cur  *obs.Span
+	seen int   // rounds begun, for the cap
+	n    int64 // rounds merged into the tail span
+	tail bool
+}
+
+// begin closes the previous round span and opens the next, recording
+// the round's index and frontier size. From round traceRoundCap on,
+// it opens (once) a single tail span that absorbs the rest.
+func (rt *roundTrace) begin(index, frontier int) {
+	in := rt.in
+	if in.tr == nil {
+		return
+	}
+	if rt.tail {
+		rt.n++
+		return
+	}
+	if rt.cur != nil {
+		in.tr.End(rt.cur, in.retrievals)
+	}
+	rt.seen++
+	if rt.seen > traceRoundCap {
+		rt.tail = true
+		rt.n = 1
+		rt.cur = in.tr.Start("rounds", in.retrievals)
+		rt.cur.Set("from", int64(index))
+		return
+	}
+	rt.cur = in.tr.Start("round", in.retrievals)
+	rt.cur.Set("index", int64(index))
+	rt.cur.Set("frontier", int64(frontier))
+}
+
+// done closes the open round (or tail) span.
+func (rt *roundTrace) done() {
+	if rt.cur == nil {
+		return
+	}
+	if rt.tail {
+		rt.cur.Set("rounds", rt.n)
+	}
+	rt.in.tr.End(rt.cur, rt.in.retrievals)
+	rt.cur = nil
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"magiccounting/internal/obs"
+)
+
+// traceFixture is a cyclic same-generation instance large enough to
+// exercise Step 1 rounds, the magic part, and the descent.
+func traceFixture() Query {
+	var parent []Pair
+	name := func(g, i int) string { return fmt.Sprintf("t%d_%d", g, i) }
+	for g := 0; g < 6; g++ {
+		for i := 0; i < 4; i++ {
+			parent = append(parent, P(name(g, i), name(g+1, (i+g)%4)))
+		}
+	}
+	parent = append(parent, P(name(4, 0), name(1, 0))) // back arc: recurring nodes
+	return SameGeneration(parent, name(0, 0))
+}
+
+// TestTraceRetrievalSumsMatchMeter is the tentpole invariant: for
+// every method, the span tree's per-stage self retrievals sum exactly
+// to the Result meter, and the traced run returns the same answers
+// and stats as the untraced one.
+func TestTraceRetrievalSumsMatchMeter(t *testing.T) {
+	q := traceFixture()
+	for _, strategy := range []Strategy{Basic, Single, Multiple, Recurring} {
+		for _, mode := range []Mode{Independent, Integrated} {
+			name := strategy.String() + "/" + mode.String()
+			t.Run(name, func(t *testing.T) {
+				plain, err := q.SolveMagicCounting(strategy, mode)
+				if err != nil {
+					t.Fatal(err)
+				}
+				tr := obs.New("solve", 0)
+				traced, err := q.SolveMagicCountingOpts(strategy, mode, Options{Trace: tr})
+				if err != nil {
+					t.Fatal(err)
+				}
+				root := tr.Finish(traced.Stats.Retrievals)
+				if root == nil {
+					t.Fatal("no trace produced")
+				}
+				if traced.Stats != plain.Stats {
+					t.Errorf("tracing changed stats: %+v vs %+v", traced.Stats, plain.Stats)
+				}
+				if len(traced.Answers) != len(plain.Answers) {
+					t.Errorf("tracing changed answers: %d vs %d", len(traced.Answers), len(plain.Answers))
+				}
+				if got := root.SumRetrievals(); got != traced.Stats.Retrievals {
+					t.Errorf("span retrievals sum to %d, meter says %d", got, traced.Stats.Retrievals)
+				}
+				if root.Total != traced.Stats.Retrievals {
+					t.Errorf("root total %d, meter %d", root.Total, traced.Stats.Retrievals)
+				}
+				if root.Find("step1/"+strategy.String()) == nil {
+					t.Errorf("missing step1 span; tree: %+v", root.Children)
+				}
+				if root.Find("step2/"+mode.String()) == nil {
+					t.Errorf("missing step2 span")
+				}
+			})
+		}
+	}
+}
+
+// TestTraceCountingAndAuto covers the counting solver's trace path
+// and SolveAuto's classify span.
+func TestTraceCountingAndAuto(t *testing.T) {
+	q := SameGeneration([]Pair{P("a", "b"), P("b", "c"), P("c", "d")}, "a")
+	tr := obs.New("solve", 0)
+	res, err := q.SolveCountingOpts(Options{Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := tr.Finish(res.Stats.Retrievals)
+	if got := root.SumRetrievals(); got != res.Stats.Retrievals {
+		t.Errorf("counting trace sums to %d, meter %d", got, res.Stats.Retrievals)
+	}
+	for _, want := range []string{"counting", "exit", "descent"} {
+		if root.Find(want) == nil {
+			t.Errorf("counting trace missing %q span", want)
+		}
+	}
+
+	tr = obs.New("solve", 0)
+	res, sel, err := q.SolveAuto(Options{Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root = tr.Finish(res.Stats.Retrievals)
+	if root.Find("classify/"+sel.Regime.String()) == nil {
+		t.Errorf("auto trace missing classify span for regime %s", sel.Regime)
+	}
+	if got := root.SumRetrievals(); got != res.Stats.Retrievals {
+		t.Errorf("auto trace sums to %d, meter %d", got, res.Stats.Retrievals)
+	}
+}
+
+// TestTraceRoundCap: a chain deeper than traceRoundCap merges excess
+// rounds into one tail span without losing retrieval exactness.
+func TestTraceRoundCap(t *testing.T) {
+	var parent []Pair
+	for i := 0; i < traceRoundCap*3; i++ {
+		parent = append(parent, P(fmt.Sprintf("c%d", i), fmt.Sprintf("c%d", i+1)))
+	}
+	q := SameGeneration(parent, "c0")
+	tr := obs.New("solve", 0)
+	res, err := q.SolveMagicCountingOpts(Basic, Integrated, Options{Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := tr.Finish(res.Stats.Retrievals)
+	if got := root.SumRetrievals(); got != res.Stats.Retrievals {
+		t.Fatalf("capped trace sums to %d, meter %d", got, res.Stats.Retrievals)
+	}
+	step1 := root.Find("step1/basic")
+	if step1 == nil {
+		t.Fatal("missing step1 span")
+	}
+	rounds := 0
+	var tail *obs.Span
+	for _, c := range step1.Children {
+		switch c.Name {
+		case "round":
+			rounds++
+		case "rounds":
+			tail = c
+		}
+	}
+	if rounds != traceRoundCap {
+		t.Errorf("%d round spans, want exactly traceRoundCap=%d", rounds, traceRoundCap)
+	}
+	if tail == nil {
+		t.Fatal("missing tail span for rounds past the cap")
+	}
+	if tail.Attrs["rounds"] == 0 {
+		t.Errorf("tail span has no merged-round count: %+v", tail.Attrs)
+	}
+}
+
+// TestTraceDisarmedMatchesDisabled: a disarmed trace changes nothing
+// about the run and records nothing — the unsampled configuration the
+// bench guard measures.
+func TestTraceDisarmedMatchesDisabled(t *testing.T) {
+	q := traceFixture()
+	plain, err := q.SolveMagicCounting(Recurring, Integrated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := obs.Disarmed()
+	unsampled, err := q.SolveMagicCountingOpts(Recurring, Integrated, Options{Trace: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unsampled.Stats != plain.Stats {
+		t.Errorf("disarmed trace changed stats: %+v vs %+v", unsampled.Stats, plain.Stats)
+	}
+	if d.Finish(0) != nil {
+		t.Error("disarmed trace recorded spans")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"magiccounting/internal/datalog"
+	"magiccounting/internal/obs"
 	"magiccounting/internal/relation"
 )
 
@@ -38,6 +39,13 @@ type Options struct {
 	// stats, and meter counts are identical to Workers == 0 in every
 	// case. 0 or 1 runs sequentially; negative uses one worker per CPU.
 	Workers int
+	// Trace, when non-nil and armed, receives the evaluation's span
+	// tree: one span per stratum with per-round children carrying the
+	// round's duration, its meter delta (tuple retrievals charged to
+	// the store), and the delta-relation sizes feeding it. Tracing
+	// never touches the meter, so results and charges are identical
+	// with and without it.
+	Trace *obs.Trace
 }
 
 // ctxErr polls the options context (nil context never errs).
@@ -93,6 +101,7 @@ func Eval(p *datalog.Program, store *relation.Store, opts Options) (*Stats, erro
 	if err != nil {
 		return nil, err
 	}
+	ls := opts.Trace.Start("load", store.Meter().Retrievals())
 	for _, f := range p.Facts {
 		store.Relation(f.Pred, len(f.Args)).Insert(f.Tuple())
 	}
@@ -103,13 +112,21 @@ func Eval(p *datalog.Program, store *relation.Store, opts Options) (*Stats, erro
 			store.Relation(pred, ar)
 		}
 	}
+	ls.Set("facts", int64(len(p.Facts)))
+	opts.Trace.End(ls, store.Meter().Retrievals())
 	strata, err := p.DependencyOrder()
 	if err != nil {
 		return nil, err
 	}
 	stats := &Stats{Strata: len(strata)}
-	for _, rules := range strata {
-		if err := evalStratum(rules, store, opts, stats); err != nil {
+	for i, rules := range strata {
+		sp := opts.Trace.Start(fmt.Sprintf("stratum/%d", i), store.Meter().Retrievals())
+		sp.Set("rules", int64(len(rules)))
+		before := stats.Iterations
+		err := evalStratum(rules, store, opts, stats)
+		sp.Set("iterations", int64(stats.Iterations-before))
+		opts.Trace.End(sp, store.Meter().Retrievals())
+		if err != nil {
 			return nil, err
 		}
 	}
@@ -159,6 +176,8 @@ func evalStratum(rules []datalog.Rule, store *relation.Store, opts Options, stat
 }
 
 func evalNaive(rules []datalog.Rule, store *relation.Store, opts Options, stats *Stats) error {
+	rt := roundTrace{tr: opts.Trace, meter: store.Meter()}
+	defer rt.done()
 	for round := 0; ; round++ {
 		if round >= opts.MaxIterations {
 			return fmt.Errorf("%w after %d rounds", ErrIterationLimit, round)
@@ -166,6 +185,7 @@ func evalNaive(rules []datalog.Rule, store *relation.Store, opts Options, stats 
 		if err := opts.ctxErr(); err != nil {
 			return err
 		}
+		rt.begin(round, -1)
 		stats.Iterations++
 		added := 0
 		for _, r := range rules {
@@ -186,8 +206,11 @@ func evalNaive(rules []datalog.Rule, store *relation.Store, opts Options, stats 
 
 func evalSeminaive(rules []datalog.Rule, heads map[string]bool, store *relation.Store, opts Options, stats *Stats) error {
 	pe := newParEval(rules, heads, store, opts)
+	rt := roundTrace{tr: opts.Trace, meter: store.Meter()}
+	defer rt.done()
 
 	// Round 0: full evaluation seeds the deltas.
+	rt.begin(0, -1)
 	deltas := make(map[string]*relation.Relation)
 	stats.Iterations++
 	tasks := make([]roundTask, 0, len(rules))
@@ -221,6 +244,7 @@ func evalSeminaive(rules []datalog.Rule, heads map[string]bool, store *relation.
 		if total == 0 {
 			return nil
 		}
+		rt.begin(round, int64(total))
 		stats.Iterations++
 		next := make(map[string]*relation.Relation)
 		tasks = tasks[:0]

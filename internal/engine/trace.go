@@ -1,0 +1,64 @@
+package engine
+
+import (
+	"magiccounting/internal/obs"
+	"magiccounting/internal/relation"
+)
+
+// traceRoundCap bounds per-round child spans per stratum, mirroring
+// the core solver's cap: rounds past it merge into one tail span with
+// exact meter-delta accounting.
+const traceRoundCap = 64
+
+// roundTrace emits fixpoint-round spans under the open stratum span.
+// It is a stack value; with tracing disabled every call is one nil
+// check.
+type roundTrace struct {
+	tr    *obs.Trace
+	meter *relation.Meter
+	cur   *obs.Span
+	seen  int
+	n     int64
+	tail  bool
+}
+
+// begin closes the previous round span and opens the next. delta is
+// the number of delta tuples feeding the round (< 0 omits the attr,
+// for the naive evaluator's full rounds).
+func (rt *roundTrace) begin(round int, delta int64) {
+	if rt.tr == nil {
+		return
+	}
+	if rt.tail {
+		rt.n++
+		return
+	}
+	if rt.cur != nil {
+		rt.tr.End(rt.cur, rt.meter.Retrievals())
+	}
+	rt.seen++
+	if rt.seen > traceRoundCap {
+		rt.tail = true
+		rt.n = 1
+		rt.cur = rt.tr.Start("rounds", rt.meter.Retrievals())
+		rt.cur.Set("from", int64(round))
+		return
+	}
+	rt.cur = rt.tr.Start("round", rt.meter.Retrievals())
+	rt.cur.Set("index", int64(round))
+	if delta >= 0 {
+		rt.cur.Set("delta", delta)
+	}
+}
+
+// done closes the open round (or tail) span.
+func (rt *roundTrace) done() {
+	if rt.cur == nil {
+		return
+	}
+	if rt.tail {
+		rt.cur.Set("rounds", rt.n)
+	}
+	rt.tr.End(rt.cur, rt.meter.Retrievals())
+	rt.cur = nil
+}

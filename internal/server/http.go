@@ -102,13 +102,16 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // writeError maps service errors to HTTP statuses: bad requests to
-// 400, deadline overruns to 504, client disconnects to 499 (nginx's
-// convention), everything else to 500.
+// 400, a closed (shutting-down) service to 503, deadline overruns to
+// 504, client disconnects to 499 (nginx's convention), everything
+// else to 500.
 func writeError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	switch {
 	case errors.Is(err, ErrBadRequest):
 		status = http.StatusBadRequest
+	case errors.Is(err, ErrClosed):
+		status = http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded):
 		status = http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):

@@ -3,14 +3,17 @@ package server
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // latencyRing is a fixed-size ring buffer of recent query latencies,
-// the window behind the p50/p99 gauges of /metrics. A ring keeps the
-// percentiles fresh (old traffic ages out) at O(window) memory.
+// the window behind the p50/p99 gauges of /v1/stats and the summary
+// quantiles of /metrics. A ring keeps the percentiles fresh (old
+// traffic ages out) at O(window) memory.
 type latencyRing struct {
 	mu      sync.Mutex
 	samples []time.Duration
@@ -60,8 +63,118 @@ func (r *latencyRing) percentile(p float64) time.Duration {
 	return buf[rank-1]
 }
 
+// histogram is a fixed-bucket Prometheus histogram: lock-free atomic
+// bucket counters plus a CAS-maintained float sum. bounds are the
+// bucket upper limits in ascending order; the +Inf bucket is
+// implicit. Observations, sum, and count are monotone, which is all
+// the exposition format requires.
+type histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is +Inf
+	sum    atomic.Uint64  // float64 bits
+	count  atomic.Int64
+}
+
+func newHistogram(bounds ...float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// observe records one value.
+func (h *histogram) observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v, i.e. the le bucket
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// snapshot returns cumulative bucket counts aligned with bounds (plus
+// +Inf), the total count, and the sum.
+func (h *histogram) snapshot() (cum []int64, count int64, sum float64) {
+	cum = make([]int64, len(h.counts))
+	var run int64
+	for i := range h.counts {
+		run += h.counts[i].Load()
+		cum[i] = run
+	}
+	return cum, h.count.Load(), math.Float64frombits(h.sum.Load())
+}
+
+// write emits the histogram in the text exposition format.
+func (h *histogram) write(w io.Writer, name, help string) error {
+	cum, count, sum := h.snapshot()
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name); err != nil {
+		return err
+	}
+	for i, b := range h.bounds {
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatBound(b), cum[i]); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum[len(cum)-1]); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", name, sum, name, count)
+	return err
+}
+
+// formatBound renders a bucket bound the way Prometheus clients do:
+// shortest float representation, no exponent for the usual ranges.
+func formatBound(b float64) string {
+	return fmt.Sprintf("%g", b)
+}
+
+// latencyBuckets are the mc_query_duration_seconds bucket bounds:
+// half-millisecond floor (cache hits land there) up to the 30 s
+// default timeout ceiling.
+var latencyBuckets = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30}
+
+// retrievalBuckets are the mc_query_retrievals bucket bounds: decades
+// from 10 (a trivial solve) to 10^8 (far past any sane per-query
+// budget). Cache hits observe 0 and land below the first bound.
+var retrievalBuckets = []float64{10, 100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000}
+
+// labeledCounters is a fixed-key family of counters: the key space is
+// closed (the eight strategy/mode combinations, the three regimes),
+// so the map is built once and increments are lock-free.
+type labeledCounters struct {
+	order  []string
+	counts map[string]*atomic.Int64
+}
+
+func newLabeledCounters(keys ...string) *labeledCounters {
+	lc := &labeledCounters{order: keys, counts: make(map[string]*atomic.Int64, len(keys))}
+	for _, k := range keys {
+		lc.counts[k] = &atomic.Int64{}
+	}
+	return lc
+}
+
+// inc bumps the counter for key; unknown keys (which would indicate a
+// bug — the key spaces are validated upstream) are dropped rather
+// than raced in.
+func (lc *labeledCounters) inc(key string) {
+	if c, ok := lc.counts[key]; ok {
+		c.Add(1)
+	}
+}
+
+func (lc *labeledCounters) get(key string) int64 {
+	if c, ok := lc.counts[key]; ok {
+		return c.Load()
+	}
+	return 0
+}
+
 // WriteMetrics writes the service counters in the Prometheus text
-// exposition format.
+// exposition format: plain counters and gauges, the per-method and
+// per-regime counter families, the latency summary (ring-buffer
+// quantiles plus the _sum/_count series strict scrapers require), and
+// the latency and retrievals-per-query histograms.
 func (s *Service) WriteMetrics(w io.Writer) error {
 	st := s.Stats()
 	counters := []struct {
@@ -75,6 +188,7 @@ func (s *Service) WriteMetrics(w io.Writer) error {
 		{"mc_query_timeouts_total", "Queries cancelled by deadline.", st.QueryTimeouts},
 		{"mc_fact_appends_total", "Fact-append requests handled.", st.FactAppends},
 		{"mc_tuple_retrievals_total", "Tuple retrievals charged by solver runs.", st.TupleRetrievals},
+		{"mc_traced_queries_total", "Queries that requested a trace.", st.TracedQueries},
 		{"mc_generation", "Current database generation.", st.Generation},
 		{"mc_cache_entries", "Live result-cache entries.", st.CacheEntries},
 		{"mc_inflight_queries", "Queries currently holding a worker slot.", st.InFlight},
@@ -91,6 +205,33 @@ func (s *Service) WriteMetrics(w io.Writer) error {
 			return err
 		}
 	}
+
+	// Per-method and per-regime counter families. Every series of the
+	// closed key space is emitted, zeros included, so dashboards see a
+	// stable set.
+	if _, err := fmt.Fprintf(w, "# HELP mc_queries_by_method_total Successful queries by the method actually run.\n# TYPE mc_queries_by_method_total counter\n"); err != nil {
+		return err
+	}
+	for _, key := range s.byMethod.order {
+		strategy, mode, _ := cutMethodKey(key)
+		if _, err := fmt.Fprintf(w, "mc_queries_by_method_total{strategy=%q,mode=%q} %d\n", strategy, mode, s.byMethod.get(key)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# HELP mc_queries_by_regime_total Auto-selected queries by detected Figure-3 regime.\n# TYPE mc_queries_by_regime_total counter\n"); err != nil {
+		return err
+	}
+	for _, key := range s.byRegime.order {
+		if _, err := fmt.Fprintf(w, "mc_queries_by_regime_total{regime=%q} %d\n", key, s.byRegime.get(key)); err != nil {
+			return err
+		}
+	}
+
+	// Latency summary over the ring window. A summary must expose
+	// _sum and _count beside its quantiles — their absence is what
+	// strict scrapers rejected in the old hand-rolled exposition; both
+	// now come from the histogram's monotone totals.
+	_, count, sum := s.latHist.snapshot()
 	if _, err := fmt.Fprintf(w, "# HELP mc_query_latency_seconds Query latency over the ring-buffer window.\n# TYPE mc_query_latency_seconds summary\n"); err != nil {
 		return err
 	}
@@ -102,5 +243,25 @@ func (s *Service) WriteMetrics(w io.Writer) error {
 			return err
 		}
 	}
-	return nil
+	if _, err := fmt.Fprintf(w, "mc_query_latency_seconds_sum %g\nmc_query_latency_seconds_count %d\n", sum, count); err != nil {
+		return err
+	}
+
+	if err := s.latHist.write(w, "mc_query_duration_seconds", "Query latency histogram."); err != nil {
+		return err
+	}
+	return s.retHist.write(w, "mc_query_retrievals", "Tuple retrievals charged per query (0 on cache hits).")
+}
+
+// methodKey builds the byMethod key, and cutMethodKey splits it back
+// for label rendering.
+func methodKey(strategy, mode string) string { return strategy + "|" + mode }
+
+func cutMethodKey(key string) (strategy, mode string, ok bool) {
+	for i := 0; i < len(key); i++ {
+		if key[i] == '|' {
+			return key[:i], key[i+1:], true
+		}
+	}
+	return key, "", false
 }

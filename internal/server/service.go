@@ -19,11 +19,16 @@ import (
 	"time"
 
 	"magiccounting/internal/core"
+	"magiccounting/internal/obs"
 )
 
 // ErrBadRequest wraps client errors (empty source, unknown strategy
 // or mode) so the HTTP layer can map them to 400 responses.
 var ErrBadRequest = errors.New("server: bad request")
+
+// ErrClosed reports a query received after Close; the HTTP layer maps
+// it to 503 so load balancers retry elsewhere during shutdown.
+var ErrClosed = errors.New("server: service closed")
 
 // Config tunes a Service.
 type Config struct {
@@ -83,8 +88,8 @@ type Service struct {
 	cfg Config
 	sem chan struct{} // worker-pool slots
 
-	mu         sync.RWMutex // guards the fact slices, generation, cache
-	l, e, r    []core.Pair
+	mu      sync.RWMutex // guards the fact slices, generation, cache
+	l, e, r []core.Pair
 	// Membership sets mirror the slices so appends dedupe in O(1):
 	// relations are sets, and re-POSTing facts already present must
 	// not invalidate the result cache.
@@ -95,6 +100,16 @@ type Service struct {
 	start time.Time
 	lat   *latencyRing
 
+	// latHist and retHist observe the same streams as the ring and
+	// NewRetrievals; byMethod/byRegime count successful queries over
+	// their closed key spaces (see metrics.go).
+	latHist  *histogram
+	retHist  *histogram
+	byMethod *labeledCounters
+	byRegime *labeledCounters
+
+	closed atomic.Bool
+
 	queries     atomic.Int64
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
@@ -102,20 +117,30 @@ type Service struct {
 	timeouts    atomic.Int64
 	factAppends atomic.Int64
 	retrievals  atomic.Int64
+	traced      atomic.Int64
 }
 
 // New creates a Service with an empty database.
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	return &Service{
-		cfg:   cfg,
-		sem:   make(chan struct{}, cfg.Workers),
-		lSet:  make(map[core.Pair]bool),
-		eSet:  make(map[core.Pair]bool),
-		rSet:  make(map[core.Pair]bool),
-		cache: make(map[cacheKey]*cacheEntry),
-		start: time.Now(),
-		lat:   newLatencyRing(cfg.LatencyWindow),
+		cfg:     cfg,
+		sem:     make(chan struct{}, cfg.Workers),
+		lSet:    make(map[core.Pair]bool),
+		eSet:    make(map[core.Pair]bool),
+		rSet:    make(map[core.Pair]bool),
+		cache:   make(map[cacheKey]*cacheEntry),
+		start:   time.Now(),
+		lat:     newLatencyRing(cfg.LatencyWindow),
+		latHist: newHistogram(latencyBuckets...),
+		retHist: newHistogram(retrievalBuckets...),
+		byMethod: newLabeledCounters(
+			methodKey("basic", "independent"), methodKey("basic", "integrated"),
+			methodKey("single", "independent"), methodKey("single", "integrated"),
+			methodKey("multiple", "independent"), methodKey("multiple", "integrated"),
+			methodKey("recurring", "independent"), methodKey("recurring", "integrated"),
+		),
+		byRegime: newLabeledCounters("regular", "acyclic", "cyclic"),
 	}
 }
 
@@ -129,6 +154,10 @@ type QueryRequest struct {
 	Strategy string `json:"strategy,omitempty"`
 	Mode     string `json:"mode,omitempty"`
 	TimeoutM int64  `json:"timeout_ms,omitempty"`
+	// Trace opts this request into per-stage span recording; the
+	// response then carries the span tree. Off by default: the solver
+	// hot path pays nothing for untraced requests.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // QueryResponse is one answered query.
@@ -151,6 +180,9 @@ type QueryResponse struct {
 	NewRetrievals int64   `json:"new_retrievals"`
 	Generation    uint64  `json:"generation"`
 	ElapsedMS     float64 `json:"elapsed_ms"`
+	// Trace is the span tree recorded when the request set "trace";
+	// its per-stage retrievals sum exactly to NewRetrievals.
+	Trace *obs.Span `json:"trace,omitempty"`
 }
 
 // ParseStrategy resolves a core strategy name.
@@ -188,6 +220,7 @@ func (s *Service) Query(ctx context.Context, req QueryRequest) (*QueryResponse, 
 	resp, err := s.query(ctx, req)
 	elapsed := time.Since(started)
 	s.lat.record(elapsed)
+	s.latHist.observe(elapsed.Seconds())
 	if err != nil {
 		s.queryErrors.Add(1)
 		if errors.Is(err, context.DeadlineExceeded) {
@@ -195,11 +228,28 @@ func (s *Service) Query(ctx context.Context, req QueryRequest) (*QueryResponse, 
 		}
 		return nil, err
 	}
+	s.retHist.observe(float64(resp.NewRetrievals))
+	s.byMethod.inc(methodKey(resp.Strategy, resp.Mode))
+	if resp.Auto {
+		s.byRegime.inc(resp.Regime)
+	}
 	resp.ElapsedMS = float64(elapsed.Microseconds()) / 1000
 	return resp, nil
 }
 
 func (s *Service) query(ctx context.Context, req QueryRequest) (*QueryResponse, error) {
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	// tr stays nil for untraced requests; every obs call below is
+	// nil-safe, so the untraced path pays one nil check per stage.
+	var tr *obs.Trace
+	if req.Trace {
+		s.traced.Add(1)
+		tr = obs.New("query", 0)
+	}
+
+	vs := tr.Start("validate", 0)
 	if req.Source == "" {
 		return nil, fmt.Errorf("%w: empty source", ErrBadRequest)
 	}
@@ -220,6 +270,7 @@ func (s *Service) query(ctx context.Context, req QueryRequest) (*QueryResponse, 
 	} else if req.Mode != "" {
 		return nil, fmt.Errorf("%w: mode %q given without a strategy (omit both for automatic selection)", ErrBadRequest, req.Mode)
 	}
+	tr.End(vs, 0)
 
 	timeout := s.cfg.DefaultTimeout
 	if req.TimeoutM > 0 {
@@ -230,18 +281,27 @@ func (s *Service) query(ctx context.Context, req QueryRequest) (*QueryResponse, 
 
 	// Acquire a worker-pool slot; a cancelled wait counts against the
 	// request's own deadline, keeping the pool bounded under overload.
+	as := tr.Start("acquire", 0)
 	select {
 	case s.sem <- struct{}{}:
+		if s.closed.Load() {
+			// Close is draining the pool; hand the slot straight back
+			// rather than holding it until our deadline.
+			<-s.sem
+			return nil, ErrClosed
+		}
 		defer func() { <-s.sem }()
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
+	tr.End(as, 0)
 
 	key := cacheKey{source: req.Source, strategy: strategy, mode: mode, auto: auto}
 
 	// Snapshot the database under the read lock. The slices are
 	// copy-on-write (AppendFacts replaces them wholesale), so the
 	// solve below runs lock-free on an immutable generation.
+	cs := tr.Start("cache", 0)
 	s.mu.RLock()
 	l, e, r, gen := s.l, s.e, s.r, s.generation
 	entry := s.cache[key]
@@ -249,6 +309,8 @@ func (s *Service) query(ctx context.Context, req QueryRequest) (*QueryResponse, 
 
 	if entry != nil && entry.generation == gen {
 		s.cacheHits.Add(1)
+		cs.Set("hit", 1)
+		tr.End(cs, 0)
 		return &QueryResponse{
 			Answers:       nonNilAnswers(entry.result.Answers),
 			Stats:         entry.result.Stats,
@@ -260,23 +322,33 @@ func (s *Service) query(ctx context.Context, req QueryRequest) (*QueryResponse, 
 			Cached:        true,
 			NewRetrievals: 0,
 			Generation:    gen,
+			Trace:         tr.Finish(0),
 		}, nil
 	}
 	s.cacheMisses.Add(1)
+	cs.Set("hit", 0)
+	tr.End(cs, 0)
 
 	q := core.Query{L: l, E: e, R: r, Source: req.Source}
-	opts := core.Options{Ctx: ctx}
+	opts := core.Options{Ctx: ctx, Trace: tr}
 	regime, reason := "", ""
 	if auto {
+		cls := tr.Start("classify", 0)
 		sel := core.ChooseMethod(q)
+		if cls != nil {
+			cls.Name = "classify/" + sel.Regime.String()
+		}
+		tr.End(cls, 0)
 		strategy, mode = sel.Strategy, sel.Mode
 		opts.SCCStep1 = sel.Options.SCCStep1
 		regime, reason = sel.Regime.String(), sel.Reason
 	}
+	ss := tr.Start("solve", 0)
 	res, err := q.SolveMagicCountingOpts(strategy, mode, opts)
 	if err != nil {
 		return nil, err
 	}
+	tr.End(ss, res.Stats.Retrievals)
 	s.retrievals.Add(res.Stats.Retrievals)
 
 	s.mu.Lock()
@@ -309,6 +381,7 @@ func (s *Service) query(ctx context.Context, req QueryRequest) (*QueryResponse, 
 		Cached:        false,
 		NewRetrievals: res.Stats.Retrievals,
 		Generation:    gen,
+		Trace:         tr.Finish(res.Stats.Retrievals),
 	}, nil
 }
 
@@ -322,23 +395,15 @@ func nonNilAnswers(a []string) []string {
 	return a
 }
 
-// evictOneLocked drops one cache entry, preferring a stale one. The
-// cache is small (CacheCap entries) and eviction rare, so the linear
-// scan is cheaper than maintaining an LRU list.
+// evictOneLocked drops one cache entry at random. Every entry is
+// live — AppendFacts purges dead generations on every bump and query
+// only caches current-generation results — so there is no better
+// victim to prefer, and random eviction over a small map needs no
+// LRU bookkeeping.
 func (s *Service) evictOneLocked() {
-	var victim *cacheKey
-	for k, e := range s.cache {
-		k := k
-		if e.generation != s.generation {
-			victim = &k
-			break
-		}
-		if victim == nil {
-			victim = &k
-		}
-	}
-	if victim != nil {
-		delete(s.cache, *victim)
+	for k := range s.cache {
+		delete(s.cache, k)
+		return
 	}
 }
 
@@ -407,8 +472,11 @@ func (s *Service) AppendFacts(req FactsRequest) (*FactsResponse, error) {
 		s.rSet[p] = true
 	}
 	s.generation++
-	// Stale entries are unreachable (generation mismatch) and would
-	// only occupy cache slots until evicted; drop them now.
+	// Purge dead generations immediately: stale entries are
+	// unreachable (generation mismatch) and would otherwise sit in
+	// cache slots indefinitely, inflating mc_cache_entries and
+	// crowding out live results until eviction stumbled on them. This
+	// keeps the invariant that every cached entry is live.
 	for k, e := range s.cache {
 		if e.generation != s.generation {
 			delete(s.cache, k)
@@ -470,10 +538,28 @@ type Stats struct {
 	QueryTimeouts   int64   `json:"query_timeouts"`
 	FactAppends     int64   `json:"fact_appends"`
 	TupleRetrievals int64   `json:"tuple_retrievals"`
+	TracedQueries   int64   `json:"traced_queries"`
 	Workers         int     `json:"workers"`
 	InFlight        int     `json:"in_flight"`
 	LatencyP50MS    float64 `json:"latency_p50_ms"`
 	LatencyP99MS    float64 `json:"latency_p99_ms"`
+}
+
+// Close marks the service closed and drains the worker pool: new
+// queries fail fast with ErrClosed, and Close returns once every
+// in-flight solve has released its slot (or ctx expires). The drained
+// slots are never released, so the pool stays shut.
+func (s *Service) Close(ctx context.Context) error {
+	s.closed.Store(true)
+	for i := 0; i < cap(s.sem); i++ {
+		select {
+		case s.sem <- struct{}{}:
+		case <-ctx.Done():
+			return fmt.Errorf("server: close: %d of %d workers still busy: %w",
+				cap(s.sem)-i, cap(s.sem), ctx.Err())
+		}
+	}
+	return nil
 }
 
 // Stats snapshots the counters.
@@ -498,6 +584,7 @@ func (s *Service) Stats() Stats {
 		QueryTimeouts:   s.timeouts.Load(),
 		FactAppends:     s.factAppends.Load(),
 		TupleRetrievals: s.retrievals.Load(),
+		TracedQueries:   s.traced.Load(),
 		Workers:         s.cfg.Workers,
 		InFlight:        len(s.sem),
 		LatencyP50MS:    float64(p50.Microseconds()) / 1000,
