@@ -101,25 +101,31 @@ func run(args []string, out io.Writer) error {
 
 func evaluate(prog *datalog.Program, goal datalog.Atom, method string, showStats, showTrace bool, maxIter int, out io.Writer) error {
 	opts := engine.Options{MaxIterations: maxIter}
-	if showTrace {
-		opts.Trace = obs.New(method, 0)
+	// engineRun attaches the trace only on engine paths: the core
+	// branch below builds its own trace, and a second one allocated up
+	// front would be dead there (and ambiguous about which is printed).
+	engineRun := func(p *datalog.Program, g datalog.Atom) error {
+		if showTrace {
+			opts.Trace = obs.New(method, 0)
+		}
+		return runEngine(p, g, opts, showStats, out)
 	}
 	switch {
 	case method == "naive" || method == "seminaive":
 		opts.Naive = method == "naive"
-		return runEngine(prog, goal, opts, showStats, out)
+		return engineRun(prog, goal)
 	case method == "magic-rewrite":
 		rewritten, renamed, err := rewrite.MagicSetsForQuery(prog, goal)
 		if err != nil {
 			return err
 		}
-		return runEngine(rewritten, renamed, opts, showStats, out)
+		return engineRun(rewritten, renamed)
 	case method == "counting-rewrite":
 		rewritten, renamed, err := rewrite.Counting(prog, goal)
 		if err != nil {
 			return err
 		}
-		return runEngine(rewritten, renamed, opts, showStats, out)
+		return engineRun(rewritten, renamed)
 	case strings.HasPrefix(method, "mc-") && strings.HasSuffix(method, "-rewrite"):
 		strategy, mode, err := parseMCName(strings.TrimSuffix(method, "-rewrite"))
 		if err != nil {
@@ -129,7 +135,7 @@ func evaluate(prog *datalog.Program, goal datalog.Atom, method string, showStats
 		if err != nil {
 			return err
 		}
-		return runEngine(rewritten, renamed, opts, showStats, out)
+		return engineRun(rewritten, renamed)
 	default:
 		def, ok := harness.MethodByName(method)
 		if !ok {

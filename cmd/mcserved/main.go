@@ -39,12 +39,28 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
 
 	"magiccounting/internal/server"
 )
+
+// syncWriter serializes writes to a shared writer. The slog handler
+// writes request lines from handler goroutines while run() writes
+// lifecycle lines from the main goroutine; both must funnel through
+// one lock or the two interleave (and race, on a plain buffer).
+type syncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}
 
 // statusWriter captures the response status and byte count for the
 // request log.
@@ -63,6 +79,21 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 	n, err := w.ResponseWriter.Write(p)
 	w.bytes += int64(n)
 	return n, err
+}
+
+// Flush forwards to the wrapped writer so streaming handlers keep
+// their flush capability behind the logging middleware.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap exposes the underlying writer to http.ResponseController,
+// preserving the optional interfaces (Hijacker, deadlines) this
+// wrapper does not reimplement.
+func (w *statusWriter) Unwrap() http.ResponseWriter {
+	return w.ResponseWriter
 }
 
 // requestLog wraps h with structured request logging: every request
@@ -108,6 +139,7 @@ func run(args []string, stdout io.Writer, ready chan<- net.Addr) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	out := &syncWriter{w: stdout}
 	svc := server.New(server.Config{
 		Workers:        *workers,
 		DefaultTimeout: *timeout,
@@ -119,7 +151,7 @@ func run(args []string, stdout io.Writer, ready chan<- net.Addr) error {
 	}
 	handler := http.Handler(server.NewHandler(svc))
 	if !*quiet {
-		handler = requestLog(handler, slog.New(slog.NewTextHandler(stdout, nil)))
+		handler = requestLog(handler, slog.New(slog.NewTextHandler(out, nil)))
 	}
 	srv := &http.Server{
 		Handler:           handler,
@@ -140,10 +172,10 @@ func run(args []string, stdout io.Writer, ready chan<- net.Addr) error {
 			return fmt.Errorf("debug listener: %w", err)
 		}
 		debugSrv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
-		fmt.Fprintf(stdout, "mcserved: pprof on %s/debug/pprof/\n", dln.Addr())
+		fmt.Fprintf(out, "mcserved: pprof on %s/debug/pprof/\n", dln.Addr())
 		go debugSrv.Serve(dln)
 	}
-	fmt.Fprintf(stdout, "mcserved: listening on %s\n", ln.Addr())
+	fmt.Fprintf(out, "mcserved: listening on %s\n", ln.Addr())
 	if ready != nil {
 		ready <- ln.Addr()
 	}
@@ -164,7 +196,7 @@ func run(args []string, stdout io.Writer, ready chan<- net.Addr) error {
 		}
 		return err
 	case sig := <-stop:
-		fmt.Fprintf(stdout, "mcserved: %v, shutting down\n", sig)
+		fmt.Fprintf(out, "mcserved: %v, shutting down\n", sig)
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		// Stop accepting and wait for in-flight handlers, then drain

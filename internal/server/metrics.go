@@ -182,6 +182,7 @@ func (s *Service) WriteMetrics(w io.Writer) error {
 		value      any
 	}{
 		{"mc_queries_total", "Queries received.", st.Queries},
+		{"mc_queries_rejected_total", "Queries fast-failed with ErrClosed during shutdown (excluded from errors and latency).", st.QueriesRejected},
 		{"mc_cache_hits_total", "Queries answered from the result cache.", st.CacheHits},
 		{"mc_cache_misses_total", "Queries that ran a solver.", st.CacheMisses},
 		{"mc_query_errors_total", "Queries that returned an error.", st.QueryErrors},

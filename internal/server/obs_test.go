@@ -346,6 +346,12 @@ func TestServiceClose(t *testing.T) {
 	if _, err := s.Query(context.Background(), QueryRequest{Source: "p0_0"}); !errors.Is(err, ErrClosed) {
 		t.Fatalf("query after Close: err = %v, want ErrClosed", err)
 	}
+	// Shutdown fast-fails count as rejections, not errors, and leave
+	// the latency window untouched — retries during a deploy must not
+	// skew either metric.
+	if st := s.Stats(); st.QueriesRejected != 1 || st.QueryErrors != 0 {
+		t.Errorf("rejected/errors after Close = %d/%d, want 1/0", st.QueriesRejected, st.QueryErrors)
+	}
 
 	ts := httptest.NewServer(NewHandler(s))
 	defer ts.Close()

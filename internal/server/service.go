@@ -111,6 +111,7 @@ type Service struct {
 	closed atomic.Bool
 
 	queries     atomic.Int64
+	rejected    atomic.Int64
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
 	queryErrors atomic.Int64
@@ -218,6 +219,14 @@ func (s *Service) Query(ctx context.Context, req QueryRequest) (*QueryResponse, 
 	started := time.Now()
 	s.queries.Add(1)
 	resp, err := s.query(ctx, req)
+	if errors.Is(err, ErrClosed) {
+		// Shutdown fast-fails are load-balancer noise, not query
+		// failures: counting them as errors (and their sub-microsecond
+		// latencies as samples) would skew both metrics during every
+		// deploy. They get their own counter instead.
+		s.rejected.Add(1)
+		return nil, err
+	}
 	elapsed := time.Since(started)
 	s.lat.record(elapsed)
 	s.latHist.observe(elapsed.Seconds())
@@ -531,6 +540,7 @@ type Stats struct {
 	FactsE          int     `json:"facts_e"`
 	FactsR          int     `json:"facts_r"`
 	Queries         int64   `json:"queries"`
+	QueriesRejected int64   `json:"queries_rejected"`
 	CacheHits       int64   `json:"cache_hits"`
 	CacheMisses     int64   `json:"cache_misses"`
 	CacheEntries    int     `json:"cache_entries"`
@@ -577,6 +587,7 @@ func (s *Service) Stats() Stats {
 		FactsE:          fe,
 		FactsR:          fr,
 		Queries:         s.queries.Load(),
+		QueriesRejected: s.rejected.Load(),
 		CacheHits:       s.cacheHits.Load(),
 		CacheMisses:     s.cacheMisses.Load(),
 		CacheEntries:    entries,
