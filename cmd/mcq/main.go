@@ -14,6 +14,10 @@
 //	sg(X, Y) :- person(X), X = Y.
 //	sg(X, Y) :- up(X, X1), sg(X1, Y1), up(Y, Y1).
 //	?- sg(a, Y).
+//
+// With -sources a,b,c the program's relations compile once and each
+// listed constant solves against the shared compiled instance in turn
+// (core methods only).
 package main
 
 import (
@@ -49,6 +53,7 @@ func run(args []string, out io.Writer) error {
 	showTrace := fs.Bool("trace", false, "print the per-stage span tree (durations and tuple retrievals) after the answers")
 	maxIter := fs.Int("max-iterations", engine.DefaultMaxIterations, "fixpoint iteration guard")
 	interactive := fs.Bool("i", false, "interactive session (reads clauses and queries from stdin)")
+	sources := fs.String("sources", "", "comma-separated bound constants replacing the query's: the database\ncompiles once and every source solves against the shared instance\n(core methods only)")
 	explain := fs.String("explain", "", "explain a magic counting run instead of just answering: <strategy>-<mode>, e.g. multiple-int")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -59,6 +64,9 @@ func run(args []string, out io.Writer) error {
 		}
 		if *showTrace {
 			return fmt.Errorf("-trace is not available in interactive mode")
+		}
+		if *sources != "" {
+			return fmt.Errorf("-sources is not available in interactive mode")
 		}
 		return repl(os.Stdin, out, *method, *maxIter)
 	}
@@ -85,6 +93,12 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("program must contain exactly one ?- query, found %d", len(prog.Queries))
 	}
 	goal := prog.Queries[0]
+	if *sources != "" {
+		if *explain != "" || *showTrace {
+			return fmt.Errorf("-sources cannot be combined with -explain or -trace")
+		}
+		return evaluateSources(prog, goal, *method, strings.Split(*sources, ","), *showStats, out)
+	}
 	if *explain != "" {
 		strategy, mode, err := parseMCName("mc-" + *explain)
 		if err != nil {
@@ -175,6 +189,42 @@ func evaluate(prog *datalog.Program, goal datalog.Atom, method string, showStats
 		}
 		return nil
 	}
+}
+
+// evaluateSources is the batch path behind -sources: the program's
+// relations compile once and every requested source binds against the
+// shared instance — the CLI counterpart of the server's batch
+// endpoint. Core methods only: the engine and rewrite methods
+// re-evaluate a whole program per goal, so there is nothing to share.
+func evaluateSources(prog *datalog.Program, goal datalog.Atom, method string, sources []string, showStats bool, out io.Writer) error {
+	def, ok := harness.MethodByName(method)
+	if !ok || def.RunC == nil {
+		return fmt.Errorf("-sources requires a core method (one of %s)", strings.Join(harness.MethodNames(), ", "))
+	}
+	q, _, err := rewrite.ExtractQuery(prog, goal)
+	if err != nil {
+		return fmt.Errorf("method %s needs a canonical strongly linear query: %w", method, err)
+	}
+	c := core.Compile(q.L, q.E, q.R)
+	for _, src := range sources {
+		src = strings.TrimSpace(src)
+		if src == "" {
+			return fmt.Errorf("empty source in -sources")
+		}
+		res, err := def.RunC(c, src, core.Options{})
+		if err != nil {
+			return fmt.Errorf("source %s: %w", src, err)
+		}
+		fmt.Fprintf(out, "-- source %s\n", src)
+		for _, a := range res.Answers {
+			fmt.Fprintln(out, a)
+		}
+		if showStats {
+			fmt.Fprintf(out, "-- %d answers, %d tuple retrievals, %d iterations\n",
+				len(res.Answers), res.Stats.Retrievals, res.Stats.Iterations)
+		}
+	}
+	return nil
 }
 
 func runEngine(prog *datalog.Program, goal datalog.Atom, opts engine.Options, showStats bool, out io.Writer) error {

@@ -281,3 +281,33 @@ func TestTraceFlagUnsupported(t *testing.T) {
 		t.Errorf("magic -trace: err = %v, want unsupported-tracing error", err)
 	}
 }
+
+func TestSourcesFlag(t *testing.T) {
+	path := writeProgram(t, sampleProgram)
+	out, err := runMCQ(t, "-method", "mc-multiple-int", "-sources", "a,x,ghost", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a and x are same-generation peers; ghost occurs in no relation,
+	// so it has no identity fact and answers nothing — the
+	// virtual-source bind path.
+	want := "-- source a\na\nx\n-- source x\na\nx\n-- source ghost\n"
+	if out != want {
+		t.Fatalf("output = %q, want %q", out, want)
+	}
+	// Per-source answers match the single-source path.
+	single, err := runMCQ(t, "-method", "mc-multiple-int", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single != "a\nx\n" {
+		t.Fatalf("single-source output = %q", single)
+	}
+	// Engine methods cannot batch; the error names the core methods.
+	if _, err := runMCQ(t, "-method", "seminaive", "-sources", "a,b", path); err == nil {
+		t.Fatal("seminaive -sources succeeded, want error")
+	}
+	if _, err := runMCQ(t, "-method", "mc-basic-int", "-sources", "a,,b", path); err == nil {
+		t.Fatal("empty source accepted, want error")
+	}
+}

@@ -1,7 +1,8 @@
 // Command mcserved serves magic counting queries over HTTP: a
 // long-lived database of L/E/R facts, a bounded solver worker pool,
-// and a per-(source, strategy, mode) result cache invalidated by
-// fact appends.
+// a compiled query graph built once per database generation and
+// shared by every query against it, and a per-(source, strategy,
+// mode) result cache invalidated by fact appends.
 //
 // Usage:
 //
@@ -15,16 +16,20 @@
 //
 // API (JSON unless noted):
 //
-//	POST /v1/query   {"source": "ann", "strategy": "multiple", "mode": "integrated", "timeout_ms": 100}
-//	                 strategy/mode optional: omitted, the method is
-//	                 chosen per the query graph's Figure 3 regime
-//	POST /v1/facts   {"l": [...], "e": [...], "r": [...], "parent": [...]}
-//	                 pairs are {"from": "x", "to": "y"}; parent pairs
-//	                 feed L and R plus identity E facts (the classic
-//	                 same-generation instance, loaded incrementally)
-//	GET  /v1/stats   service counters
-//	GET  /healthz    liveness probe (text)
-//	GET  /metrics    Prometheus text exposition
+//	POST /v1/query        {"source": "ann", "strategy": "multiple", "mode": "integrated", "timeout_ms": 100}
+//	                      strategy/mode optional: omitted, the method is
+//	                      chosen per the query graph's Figure 3 regime
+//	POST /v1/query/batch  {"sources": ["ann", "bob"], "strategy": "...", "mode": "...", "timeout_ms": 100}
+//	                      many bound constants against one snapshot and
+//	                      one compiled graph; items succeed or fail
+//	                      independently
+//	POST /v1/facts        {"l": [...], "e": [...], "r": [...], "parent": [...]}
+//	                      pairs are {"from": "x", "to": "y"}; parent pairs
+//	                      feed L and R plus identity E facts (the classic
+//	                      same-generation instance, loaded incrementally)
+//	GET  /v1/stats        service counters
+//	GET  /healthz         liveness probe (text)
+//	GET  /metrics         Prometheus text exposition
 package main
 
 import (

@@ -1,0 +1,30 @@
+package bench
+
+import "testing"
+
+// TestCompileAmortization pins the acceptance criterion of the
+// compiled-instance layer: a warm per-query solve against a shared
+// Compiled must cost at least 5x less than the cold per-query build it
+// replaces. The observed ratio is ~100x; 5x leaves generous headroom
+// for scheduler noise, and a timing-flake retry keeps CI honest.
+func TestCompileAmortization(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	const want = 5.0
+	var ratio float64
+	for round := 0; round < 3; round++ {
+		cold := testing.Benchmark(benchCompileBuild)
+		warm := testing.Benchmark(benchCompileSolveWarm)
+		coldNs := float64(cold.T.Nanoseconds()) / float64(cold.N)
+		warmNs := float64(warm.T.Nanoseconds()) / float64(warm.N)
+		if warmNs <= 0 {
+			continue
+		}
+		ratio = coldNs / warmNs
+		if ratio >= want {
+			return
+		}
+	}
+	t.Errorf("compile amortization ratio = %.1fx, want >= %.0fx", ratio, want)
+}

@@ -39,6 +39,11 @@ var probes = []struct {
 	{"solve/mc-recurring-int-tree", benchSolveRecurring},
 	{"engine/seminaive-chain", benchSeminaive},
 	{"server/query-hit", benchServerQuery},
+	{"compile/build-cold", benchCompileBuild},
+	{"compile/solve-warm", benchCompileSolveWarm},
+	{"compile/solve-cold", benchCompileSolveCold},
+	{"compile/bfs-csr", benchBFSCSR},
+	{"compile/bfs-slices", benchBFSSlices},
 }
 
 // Names lists the tracked probe names in run order.
@@ -187,6 +192,158 @@ func benchSeminaive(b *testing.B) {
 		store := relation.NewStore()
 		if _, err := engine.Eval(prog, store, engine.Options{}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// compileWorkload is the instance behind the compile/* amortization
+// probes: a tree large enough that interning and CSR layout dominate a
+// warm solve from a leaf. The leaf source makes the warm probe measure
+// per-query setup (bind, scratch allocation) rather than fixpoint
+// work, which is what amortization buys.
+func compileWorkload() (core.Query, string) {
+	const branch, depth = 3, 8
+	q := workload.Tree(branch, depth)
+	total := 0
+	for d, p := 0, 1; d < depth; d, p = d+1, p*branch {
+		total += p
+	}
+	// Node i's children are branch*i+c+1, so the last leaf under the
+	// last internal node (total-1) is branch*total.
+	return q, fmt.Sprintf("t%d", branch*total)
+}
+
+// benchCompileBuild measures the cold cost a query pays when nothing
+// is shared: interning three relations and laying out four CSR graphs.
+func benchCompileBuild(b *testing.B) {
+	q, _ := compileWorkload()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c := core.Compile(q.L, q.E, q.R); c.NumL() == 0 {
+			b.Fatal("empty compile")
+		}
+	}
+}
+
+// benchCompileSolveWarm measures a query's marginal cost once the
+// compiled artifact exists. Against compile/build-cold it is the
+// amortization ratio the serving layer's per-generation cache banks on.
+func benchCompileSolveWarm(b *testing.B) {
+	q, leaf := compileWorkload()
+	c := core.Compile(q.L, q.E, q.R)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Solve(leaf, core.Basic, core.Integrated, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchCompileSolveCold is the same query through the one-shot Query
+// wrapper: build plus solve every op, the pre-compiled-layer cost.
+func benchCompileSolveCold(b *testing.B) {
+	q, leaf := compileWorkload()
+	q.Source = leaf
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := q.SolveMagicCounting(core.Basic, core.Integrated); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchArcs interns the workload's L relation into dense ids, the
+// common input to the two BFS layout probes. Local to the bench
+// package so the probes stay self-contained against core internals.
+func benchArcs() (n int, arcs [][2]int32) {
+	q, _ := compileWorkload()
+	id := make(map[string]int32, len(q.L))
+	intern := func(s string) int32 {
+		if v, ok := id[s]; ok {
+			return v
+		}
+		v := int32(len(id))
+		id[s] = v
+		return v
+	}
+	for _, p := range q.L {
+		arcs = append(arcs, [2]int32{intern(p.From), intern(p.To)})
+	}
+	return len(id), arcs
+}
+
+// bfs runs a full traversal from node 0 given a row accessor, reusing
+// the caller's visited/queue scratch; returns nodes reached.
+func bfs(visited []bool, queue []int32, row func(int32) []int32) int {
+	for i := range visited {
+		visited[i] = false
+	}
+	queue = append(queue[:0], 0)
+	visited[0] = true
+	reached := 1
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range row(u) {
+			if !visited[v] {
+				visited[v] = true
+				reached++
+				queue = append(queue, v)
+			}
+		}
+	}
+	return reached
+}
+
+// benchBFSCSR traverses the tree over a CSR layout (flat arc array
+// plus offsets) — the representation the compiled layer adopted.
+func benchBFSCSR(b *testing.B) {
+	n, arcs := benchArcs()
+	off := make([]int32, n+1)
+	for _, a := range arcs {
+		off[a[0]+1]++
+	}
+	for i := 1; i <= n; i++ {
+		off[i] += off[i-1]
+	}
+	flat := make([]int32, len(arcs))
+	cur := make([]int32, n)
+	copy(cur, off[:n])
+	for _, a := range arcs {
+		flat[cur[a[0]]] = a[1]
+		cur[a[0]]++
+	}
+	visited := make([]bool, n)
+	queue := make([]int32, 0, n)
+	row := func(u int32) []int32 { return flat[off[u]:off[u+1]] }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := bfs(visited, queue, row); got != n {
+			b.Fatalf("reached %d of %d", got, n)
+		}
+	}
+}
+
+// benchBFSSlices is the identical traversal over per-node adjacency
+// slices — the layout the CSR form replaced.
+func benchBFSSlices(b *testing.B) {
+	n, arcs := benchArcs()
+	adj := make([][]int32, n)
+	for _, a := range arcs {
+		adj[a[0]] = append(adj[a[0]], a[1])
+	}
+	visited := make([]bool, n)
+	queue := make([]int32, 0, n)
+	row := func(u int32) []int32 { return adj[u] }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := bfs(visited, queue, row); got != n {
+			b.Fatalf("reached %d of %d", got, n)
 		}
 	}
 }

@@ -23,39 +23,39 @@ func CheckReducedSets(q Query, rs *ReducedSets, mode Mode) error {
 	cls := lg.Classify(int(in.src))
 
 	// Condition a: the partition covers the magic set exactly.
-	inRC := make([]bool, len(in.lNames))
+	inRC := make([]bool, in.nL)
 	for j := range rs.RC.levels {
 		for _, v := range rs.RC.at(j) {
 			inRC[v] = true
 		}
 	}
-	for v := 0; v < len(in.lNames); v++ {
+	for v := 0; v < in.nL; v++ {
 		reachable := cls.Class[v] != graph.Unreachable
 		covered := rs.RM[v] || inRC[v]
 		if reachable && !covered {
-			return fmt.Errorf("core: condition (a) violated: magic node %s in neither RM nor RC", in.lNames[v])
+			return fmt.Errorf("core: condition (a) violated: magic node %s in neither RM nor RC", in.lName(int32(v)))
 		}
 		if !reachable && covered {
-			return fmt.Errorf("core: condition (a) violated: %s is not a magic node but appears in RM or RC", in.lNames[v])
+			return fmt.Errorf("core: condition (a) violated: %s is not a magic node but appears in RM or RC", in.lName(int32(v)))
 		}
 	}
 
 	// Condition b: RC-only nodes carry their complete index sets.
-	for v := 0; v < len(in.lNames); v++ {
+	for v := 0; v < in.nL; v++ {
 		if !inRC[v] || rs.RM[v] {
 			continue
 		}
 		if cls.Class[v] == graph.Recurring {
-			return fmt.Errorf("core: condition (b) violated: recurring node %s assigned to RC only (infinite index set)", in.lNames[v])
+			return fmt.Errorf("core: condition (b) violated: recurring node %s assigned to RC only (infinite index set)", in.lName(int32(v)))
 		}
 		want := cls.Indices[v]
 		got := multiIndices(rs.RC, int32(v))
 		if len(got) != len(want) {
-			return fmt.Errorf("core: condition (b) violated: node %s has indices %v in RC, wants %v", in.lNames[v], got, want)
+			return fmt.Errorf("core: condition (b) violated: node %s has indices %v in RC, wants %v", in.lName(int32(v)), got, want)
 		}
 		for i := range want {
 			if got[i] != want[i] {
-				return fmt.Errorf("core: condition (b) violated: node %s has indices %v in RC, wants %v", in.lNames[v], got, want)
+				return fmt.Errorf("core: condition (b) violated: node %s has indices %v in RC, wants %v", in.lName(int32(v)), got, want)
 			}
 		}
 	}
@@ -89,7 +89,7 @@ func (q Query) ReducedSetsFor(strategy Strategy, mode Mode, opts Options) (*Redu
 	default:
 		return nil, nil, fmt.Errorf("core: unknown strategy %v", strategy)
 	}
-	return rs, in.lNames, nil
+	return rs, in.lNamesFull(), nil
 }
 
 // RMClosedUnderSuccessors verifies the invariant the integrated
@@ -100,10 +100,10 @@ func RMClosedUnderSuccessors(q Query, rs *ReducedSets) error {
 		if !rs.RM[v] {
 			continue
 		}
-		for _, w := range in.lOut[v] {
+		for _, w := range in.lOut(int32(v)) {
 			if !rs.RM[w] {
 				return fmt.Errorf("core: RM not successor-closed: %s in RM but successor %s is not",
-					in.lNames[v], in.lNames[w])
+					in.lName(int32(v)), in.lName(w))
 			}
 		}
 	}

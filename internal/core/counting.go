@@ -70,7 +70,7 @@ func (in *instance) countingSets() (*levelSet, int, error) {
 	sp := in.tr.Start("counting", in.retrievals)
 	cs := newLevelSet()
 	cs.add(0, in.src)
-	n := len(in.lNames)
+	n := in.nL
 	iterations := 0
 	rt := roundTrace{in: in}
 	for j := 0; len(cs.at(j)) > 0 && !in.stopped(); j++ {
@@ -83,7 +83,7 @@ func (in *instance) countingSets() (*levelSet, int, error) {
 		}
 		// Semijoin CS ⋉ L over the frontier, sharded when workers are
 		// configured; each node costs 1 + len(lOut[x]).
-		in.expandLevel(cs, cs.at(j), in.lOut, j+1)
+		in.expandLevel(cs, cs.at(j), &in.c.lOut, j+1)
 	}
 	rt.done()
 	if sp != nil {
@@ -100,7 +100,7 @@ func (in *instance) countingSets() (*levelSet, int, error) {
 func (in *instance) seedExit(pc, seed *levelSet) {
 	sp := in.tr.Start("exit", in.retrievals)
 	for j := 0; j < len(seed.levels) && !in.stopped(); j++ {
-		in.expandLevel(pc, seed.at(j), in.eOut, j)
+		in.expandLevel(pc, seed.at(j), &in.c.eOut, j)
 	}
 	if sp != nil {
 		sp.Set("levels", int64(len(seed.levels)))
@@ -122,7 +122,7 @@ func (in *instance) descend(pc *levelSet) (*denseSet, int) {
 	for j := pc.maxLevel(); j >= 1 && !in.stopped(); j-- {
 		rt.begin(j, len(pc.at(j)))
 		iterations++
-		in.expandLevel(pc, pc.at(j), in.rOut, j-1)
+		in.expandLevel(pc, pc.at(j), &in.c.rOut, j-1)
 	}
 	rt.done()
 	answers := &denseSet{}
@@ -156,7 +156,13 @@ func (q Query) SolveCounting() (*Result, error) {
 // SolveCountingOpts is SolveCounting with explicit options (context
 // cancellation, worker pool for the frontier rounds).
 func (q Query) SolveCountingOpts(opts Options) (*Result, error) {
-	in := build(q)
+	return compileTraced(q, opts.Trace).SolveCounting(q.Source, opts)
+}
+
+// SolveCounting runs the pure counting method for one source on the
+// compiled instance.
+func (c *Compiled) SolveCounting(source string, opts Options) (*Result, error) {
+	in := c.bind(source)
 	in.configure(opts)
 	cs, iter, err := in.countingSets()
 	if err != nil {
@@ -187,16 +193,22 @@ func (q Query) SolveCountingCyclic() (*Result, error) {
 
 // SolveCountingCyclicOpts is SolveCountingCyclic with explicit options.
 func (q Query) SolveCountingCyclicOpts(opts Options) (*Result, error) {
-	in := build(q)
+	return compileTraced(q, opts.Trace).SolveCountingCyclic(q.Source, opts)
+}
+
+// SolveCountingCyclic runs the bounded-index counting extension for
+// one source on the compiled instance.
+func (c *Compiled) SolveCountingCyclic(source string, opts Options) (*Result, error) {
+	in := c.bind(source)
 	in.configure(opts)
-	n := len(in.lNames)
+	n := in.nL
 	bound := 2*n - 1
 	cs := newLevelSet()
 	cs.add(0, in.src)
 	iterations := 0
 	for j := 0; j < bound && len(cs.at(j)) > 0; j++ {
 		iterations++
-		in.expandLevel(cs, cs.at(j), in.lOut, j+1)
+		in.expandLevel(cs, cs.at(j), &in.c.lOut, j+1)
 	}
 	// The bounded descent covers every answer whose E-crossing node is
 	// single or multiple: their index sets lie entirely below n.
@@ -218,6 +230,7 @@ func (q Query) SolveCountingCyclicOpts(opts Options) (*Result, error) {
 		for _, y := range pm.bySource(in.src) {
 			answers.add(y)
 		}
+		pm.release()
 		dIter += mIter
 	}
 	return &Result{

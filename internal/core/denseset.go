@@ -75,6 +75,16 @@ func (s *denseSet) remove(v int32) bool {
 	return true
 }
 
+// reset empties the set while keeping its backing arrays for reuse
+// (the sync.Pool recycling path). The bitmap is cleared before
+// truncation so no stale bit can resurface when the capacity is
+// regrown.
+func (s *denseSet) reset() {
+	s.list = s.list[:0]
+	clear(s.bits)
+	s.bits = s.bits[:0]
+}
+
 // members returns the set in insertion order. The slice is the set's
 // own storage: callers must not mutate it, and adds during iteration
 // are visible to the iterating loop.

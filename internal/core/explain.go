@@ -33,7 +33,7 @@ func Explain(w io.Writer, q Query, strategy Strategy, mode Mode) error {
 	byClass := map[graph.Class][]string{}
 	for v := 0; v < lg.N(); v++ {
 		if cls.Class[v] != graph.Unreachable {
-			byClass[cls.Class[v]] = append(byClass[cls.Class[v]], in.lNames[v])
+			byClass[cls.Class[v]] = append(byClass[cls.Class[v]], in.lName(int32(v)))
 		}
 	}
 	for _, c := range []graph.Class{graph.Single, graph.Multiple, graph.Recurring} {

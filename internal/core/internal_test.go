@@ -56,16 +56,16 @@ func TestBuildInternsSeparateDomains(t *testing.T) {
 		Source: "n",
 	}
 	in := build(q)
-	if len(in.lNames) != 2 {
-		t.Fatalf("L domain = %v", in.lNames)
+	if len(in.c.lNames) != 2 || in.nL != 2 {
+		t.Fatalf("L domain = %v", in.c.lNames)
 	}
-	if len(in.rNames) != 2 {
-		t.Fatalf("R domain = %v", in.rNames)
+	if len(in.c.rNames) != 2 {
+		t.Fatalf("R domain = %v", in.c.rNames)
 	}
 	// Same constant, two nodes — the paper's "two distinct associated
 	// nodes" requirement.
-	if in.lNames[0] != "n" || in.rNames[0] != "n" {
-		t.Fatalf("interning order wrong: %v / %v", in.lNames, in.rNames)
+	if in.c.lNames[0] != "n" || in.c.rNames[0] != "n" {
+		t.Fatalf("interning order wrong: %v / %v", in.c.lNames, in.c.rNames)
 	}
 }
 
@@ -77,16 +77,16 @@ func TestBuildDedupesFacts(t *testing.T) {
 		Source: "a",
 	}
 	in := build(q)
-	if len(in.lOut[0]) != 1 || len(in.eOut[0]) != 1 {
+	if len(in.lOut(0)) != 1 || len(in.eOut(0)) != 1 {
 		t.Fatal("duplicate facts not collapsed")
 	}
 	rx := int32(-1)
-	for id, n := range in.rNames {
+	for id, n := range in.c.rNames {
 		if n == "x" {
 			rx = int32(id)
 		}
 	}
-	if len(in.rOut[rx]) != 1 {
+	if len(in.rOut(rx)) != 1 {
 		t.Fatal("duplicate R facts not collapsed")
 	}
 }
@@ -98,7 +98,7 @@ func TestFlaggedBFSOnDiamondDoesNotFlag(t *testing.T) {
 	_, flagged, _, _ := in.flaggedBFS()
 	for v, f := range flagged {
 		if f {
-			t.Fatalf("node %s flagged on a regular diamond", in.lNames[v])
+			t.Fatalf("node %s flagged on a regular diamond", in.lName(int32(v)))
 		}
 	}
 }
@@ -108,7 +108,7 @@ func TestFlaggedBFSShortcutFlagsAndIX(t *testing.T) {
 	in := build(q)
 	firstIdx, flagged, ix, _ := in.flaggedBFS()
 	var cID int32 = -1
-	for v, n := range in.lNames {
+	for v, n := range in.c.lNames {
 		if n == "c" {
 			cID = int32(v)
 		}
@@ -131,32 +131,32 @@ func TestStep1AgreesWithOracleProperty(t *testing.T) {
 		oracle := in.lGraph().Classify(int(in.src))
 		// Multiple method: RM = exactly the non-single reachable nodes.
 		rsM := in.step1Multiple(false)
-		for v := range in.lNames {
+		for v := 0; v < in.nL; v++ {
 			wantRM := oracle.Class[v] == graph.Multiple || oracle.Class[v] == graph.Recurring
 			if rsM.RM[v] != wantRM {
-				t.Logf("seed %d: multiple RM[%s] = %v, oracle %v", seed, in.lNames[v], rsM.RM[v], oracle.Class[v])
+				t.Logf("seed %d: multiple RM[%s] = %v, oracle %v", seed, in.lName(int32(v)), rsM.RM[v], oracle.Class[v])
 				return false
 			}
 		}
 		// Recurring method: RM = exactly the recurring nodes.
 		in2 := build(q)
 		rsR := in2.step1RecurringNaive(false)
-		for v := range in2.lNames {
+		for v := 0; v < in2.nL; v++ {
 			wantRM := oracle.Class[v] == graph.Recurring
 			if rsR.RM[v] != wantRM {
-				t.Logf("seed %d: recurring RM[%s] = %v, oracle %v", seed, in2.lNames[v], rsR.RM[v], oracle.Class[v])
+				t.Logf("seed %d: recurring RM[%s] = %v, oracle %v", seed, in2.lName(int32(v)), rsR.RM[v], oracle.Class[v])
 				return false
 			}
 		}
 		// Recurring RC must carry complete index sets.
-		for v := range in2.lNames {
+		for v := 0; v < in2.nL; v++ {
 			if rsR.RM[v] || oracle.Class[v] == graph.Unreachable {
 				continue
 			}
 			got := multiIndices(rsR.RC, int32(v))
 			want := oracle.Indices[v]
 			if len(got) != len(want) {
-				t.Logf("seed %d: indices of %s = %v, want %v", seed, in2.lNames[v], got, want)
+				t.Logf("seed %d: indices of %s = %v, want %v", seed, in2.lName(int32(v)), got, want)
 				return false
 			}
 			for i := range want {

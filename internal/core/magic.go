@@ -8,14 +8,14 @@ package core
 //
 // Each node is expanded once, so the cost is Θ(m_L).
 func (in *instance) reachableSet() []bool {
-	ms := make([]bool, len(in.lNames))
+	ms := make([]bool, in.nL)
 	ms[in.src] = true
 	queue := []int32{in.src}
 	for len(queue) > 0 && !in.stopped() {
 		x := queue[0]
 		queue = queue[1:]
-		in.charge(1 + int64(len(in.lOut[x])))
-		for _, x1 := range in.lOut[x] {
+		in.charge(1 + int64(len(in.lOut(x))))
+		for _, x1 := range in.lOut(x) {
 			in.charge(1) // not(MS(X1)) dedup probe
 			if !ms[x1] {
 				ms[x1] = true
@@ -27,10 +27,12 @@ func (in *instance) reachableSet() []bool {
 }
 
 // pairSet stores the derived relation P_M as per-source sets of
-// R-nodes.
+// R-nodes. Sets obtained from pooledPairSet carry their pooled
+// backing rows in pr and must be released after the pairs are read.
 type pairSet struct {
 	byX   []denseSet // indexed by L-node id
 	count int
+	pr    *pairRows // pooled backing storage; nil for unpooled sets
 }
 
 func newPairSet(nL int) *pairSet { return &pairSet{byX: make([]denseSet, nL)} }
@@ -58,7 +60,8 @@ func (p *pairSet) bySource(x int32) []int32 { return p.byX[x].members() }
 // method, RM for magic counting methods); rec masks the nodes allowed
 // as X in the recursive rule (MS for pure magic and independent
 // methods, RM for integrated methods). It returns the P_M pairs and
-// the number of delta rounds.
+// the number of delta rounds. The returned pairSet is pooled: the
+// caller releases it once the pairs are consumed.
 //
 // Each derived pair (x1, y1) is expanded once: its L in-arcs and the
 // R arcs below y1 are retrieved and every produced candidate pays a
@@ -71,7 +74,7 @@ func (p *pairSet) bySource(x int32) []int32 { return p.byX[x].members() }
 // 3's cost is "already included in the cost of the magic set part").
 func (in *instance) magicPairs(exit []int32, rec []bool, boundary func(x, y1 int32)) (*pairSet, int) {
 	sp := in.tr.Start("magic", in.retrievals)
-	pm := newPairSet(len(in.lNames))
+	pm := in.pooledPairSet()
 	type pair struct{ x, y int32 }
 	var work []pair
 	push := func(x, y int32) {
@@ -81,8 +84,8 @@ func (in *instance) magicPairs(exit []int32, rec []bool, boundary func(x, y1 int
 		}
 	}
 	for _, x := range exit {
-		in.charge(1 + int64(len(in.eOut[x])))
-		for _, y := range in.eOut[x] {
+		in.charge(1 + int64(len(in.eOut(x))))
+		for _, y := range in.eOut(x) {
 			push(x, y)
 		}
 	}
@@ -92,8 +95,8 @@ func (in *instance) magicPairs(exit []int32, rec []bool, boundary func(x, y1 int
 		x1y1 := work[len(work)-1]
 		work = work[:len(work)-1]
 		x1, y1 := x1y1.x, x1y1.y
-		in.charge(1 + int64(len(in.lIn[x1]))) // L tuples entering x1
-		for _, x := range in.lIn[x1] {
+		in.charge(1 + int64(len(in.lIn(x1)))) // L tuples entering x1
+		for _, x := range in.lIn(x1) {
 			if boundary != nil {
 				// The transfer rule matches on RC membership, which
 				// can overlap RM at the forced (0, a) pair, so it sees
@@ -103,8 +106,8 @@ func (in *instance) magicPairs(exit []int32, rec []bool, boundary func(x, y1 int
 			if !rec[x] {
 				continue
 			}
-			in.charge(1 + int64(len(in.rOut[y1]))) // R tuples below y1
-			for _, y := range in.rOut[y1] {
+			in.charge(1 + int64(len(in.rOut(y1)))) // R tuples below y1
+			for _, y := range in.rOut(y1) {
 				push(x, y)
 			}
 		}
@@ -123,7 +126,13 @@ func (in *instance) magicPairs(exit []int32, rec []bool, boundary func(x, y1 int
 // both the exit and the recursive rule. Safe on every database; cost
 // Θ(m_L·m_R) in all three regimes of Table 1.
 func (q Query) SolveMagic() (*Result, error) {
-	in := build(q)
+	return Compile(q.L, q.E, q.R).SolveMagic(q.Source)
+}
+
+// SolveMagic runs the pure magic set method for one source on the
+// compiled instance.
+func (c *Compiled) SolveMagic(source string) (*Result, error) {
+	in := c.bind(source)
 	ms := in.reachableSet()
 	var exit []int32
 	msSize := 0
@@ -138,6 +147,7 @@ func (q Query) SolveMagic() (*Result, error) {
 	for _, y := range pm.bySource(in.src) {
 		answers.add(y)
 	}
+	pm.release()
 	return &Result{
 		Answers: in.answerNames(answers),
 		Stats: Stats{
@@ -153,8 +163,14 @@ func (q Query) SolveMagic() (*Result, error) {
 // all. It always terminates (the pair space is finite) and serves as
 // the semantic ground truth the other methods are validated against.
 func (q Query) SolveNaive() (*Result, error) {
-	in := build(q)
-	p := newPairSet(len(in.lNames))
+	return Compile(q.L, q.E, q.R).SolveNaive(q.Source)
+}
+
+// SolveNaive runs the naive bottom-up baseline for one source on the
+// compiled instance.
+func (c *Compiled) SolveNaive(source string) (*Result, error) {
+	in := c.bind(source)
+	p := in.pooledPairSet()
 	type pair struct{ x, y int32 }
 	var work []pair
 	push := func(x, y int32) {
@@ -164,9 +180,9 @@ func (q Query) SolveNaive() (*Result, error) {
 		}
 	}
 	// Exit rule over the whole E relation.
-	for x := range in.eOut {
-		in.charge(1 + int64(len(in.eOut[x])))
-		for _, y := range in.eOut[x] {
+	for x := 0; x < in.nL; x++ {
+		in.charge(1 + int64(len(in.eOut(int32(x)))))
+		for _, y := range in.eOut(int32(x)) {
 			push(int32(x), y)
 		}
 	}
@@ -175,10 +191,10 @@ func (q Query) SolveNaive() (*Result, error) {
 		iterations++
 		t := work[len(work)-1]
 		work = work[:len(work)-1]
-		in.charge(1 + int64(len(in.lIn[t.x])))
-		for _, x := range in.lIn[t.x] {
-			in.charge(1 + int64(len(in.rOut[t.y])))
-			for _, y := range in.rOut[t.y] {
+		in.charge(1 + int64(len(in.lIn(t.x))))
+		for _, x := range in.lIn(t.x) {
+			in.charge(1 + int64(len(in.rOut(t.y))))
+			for _, y := range in.rOut(t.y) {
 				push(x, y)
 			}
 		}
@@ -187,6 +203,7 @@ func (q Query) SolveNaive() (*Result, error) {
 	for _, y := range p.bySource(in.src) {
 		answers.add(y)
 	}
+	p.release()
 	return &Result{
 		Answers: in.answerNames(answers),
 		Stats:   Stats{Retrievals: in.retrievals, Iterations: iterations},

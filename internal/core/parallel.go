@@ -51,7 +51,7 @@ func resolveWorkers(w int) int {
 // position-independent and the merge re-runs the same deduplicating
 // adds in the same sequence. No retrieval is charged for dedup probes
 // here, matching the sequential accounting.
-func (in *instance) expandLevel(dest *levelSet, frontier []int32, adj [][]int32, toLevel int) {
+func (in *instance) expandLevel(dest *levelSet, frontier []int32, adj *csr, toLevel int) {
 	w := in.workers
 	if w > 1 {
 		t := in.parThreshold
@@ -64,8 +64,9 @@ func (in *instance) expandLevel(dest *levelSet, frontier []int32, adj [][]int32,
 	}
 	if w <= 1 {
 		for _, x := range frontier {
-			in.charge(1 + int64(len(adj[x])))
-			for _, v := range adj[x] {
+			row := adj.row(x)
+			in.charge(1 + int64(len(row)))
+			for _, v := range row {
 				dest.add(toLevel, v)
 			}
 		}
@@ -84,8 +85,9 @@ func (in *instance) expandLevel(dest *levelSet, frontier []int32, adj [][]int32,
 		go func(o *shardOut, shard []int32) {
 			defer wg.Done()
 			for _, x := range shard {
-				o.charge += 1 + int64(len(adj[x]))
-				for _, v := range adj[x] {
+				row := adj.row(x)
+				o.charge += 1 + int64(len(row))
+				for _, v := range row {
 					// Read-only pre-filter against the state all
 					// workers see (no add runs during this phase):
 					// drops the bulk of the duplicates off the

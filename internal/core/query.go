@@ -15,6 +15,11 @@
 // Costs are accounted in the paper's unit, tuple retrievals from the
 // database relations L, E, and R (plus dedup probes on derived
 // relations), so the Θ bounds of Tables 1–5 can be measured directly.
+//
+// The database relations compile once into an immutable Compiled
+// artifact (CSR adjacency plus interned symbol tables) that any
+// number of concurrent queries share; the Query.Solve* methods are
+// thin compile-and-run wrappers over it.
 package core
 
 import (
@@ -22,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"magiccounting/internal/graph"
 	"magiccounting/internal/obs"
@@ -73,19 +79,21 @@ func SameGeneration(parent []Pair, source string) Query {
 	return Query{L: parent, E: e, R: parent, Source: source}
 }
 
-// instance is the interned graph form of a Query. L-nodes and R-nodes
-// live in separate id spaces, as in the paper's query graph: the same
-// constant occurring in L and in R yields two distinct nodes.
+// instance is the per-run state of one query evaluation: a bound
+// source over a shared *Compiled, plus the retrieval meter, trace
+// sink, and cancellation state. It is cheap to create (bind is O(1))
+// and never outlives the run; everything heavy lives in the Compiled.
 type instance struct {
-	lNames []string
-	rNames []string
+	c *Compiled
 
-	lOut [][]int32 // G_L arcs: L-node -> L-nodes
-	lIn  [][]int32 // reverse of lOut
-	eOut [][]int32 // G_E arcs: L-node -> R-nodes
-	rOut [][]int32 // descent arcs: rOut[c] = {b : (b, c) in R}
+	// nL and nR are the effective domain sizes for this run. nL is
+	// len(c.lNames) plus one when the source is a virtual node (a
+	// constant occurring in no relation), so every n-dependent bound
+	// and charge matches a build that interned the source.
+	nL, nR int
 
-	src int32 // source L-node
+	src     int32  // source L-node (may be the virtual id len(c.lNames))
+	srcName string // the source constant, for the virtual node's name
 
 	retrievals int64 // tuple retrievals charged so far
 
@@ -98,8 +106,39 @@ type instance struct {
 	tr *obs.Trace
 
 	ctx       context.Context // nil when cancellation is disabled
+	deadline  time.Time       // ctx's deadline, zero when it has none
 	ctxStride int64           // charges since the last deadline poll
 	ctxErr    error           // sticky ctx.Err(), set once observed
+}
+
+// Adjacency accessors: one bounds check over the shared CSR graphs.
+// The virtual source id falls past every offset table and reads as an
+// empty row.
+func (in *instance) lOut(x int32) []int32 { return in.c.lOut.row(x) }
+func (in *instance) lIn(x int32) []int32  { return in.c.lIn.row(x) }
+func (in *instance) eOut(x int32) []int32 { return in.c.eOut.row(x) }
+func (in *instance) rOut(y int32) []int32 { return in.c.rOut.row(y) }
+
+// lName resolves an L-node id to its constant, covering the virtual
+// source node.
+func (in *instance) lName(v int32) string {
+	if int(v) < len(in.c.lNames) {
+		return in.c.lNames[v]
+	}
+	return in.srcName
+}
+
+// lNamesFull returns the L-domain name table for this run, appending
+// the virtual source when the run has one. Callers receive a slice
+// they may keep: it is either the shared immutable table or a fresh
+// copy.
+func (in *instance) lNamesFull() []string {
+	if in.nL == len(in.c.lNames) {
+		return in.c.lNames
+	}
+	out := make([]string, 0, in.nL)
+	out = append(out, in.c.lNames...)
+	return append(out, in.srcName)
 }
 
 // ctxPollStride bounds how many charge calls may pass between two
@@ -110,12 +149,30 @@ type instance struct {
 const ctxPollStride = 1024
 
 // setContext arms cancellation. A nil or Background context leaves
-// the instance uncancellable (zero overhead in charge).
+// the instance uncancellable (zero overhead in charge). The deadline
+// is captured separately because ctx.Err() only flips when the
+// context's timer goroutine fires — which coarse-timer environments
+// delay by tens of milliseconds — while a fast solve can finish
+// first; polls compare the clock against the deadline directly so a
+// timed-out run is caught at the next poll regardless of timer
+// resolution.
 func (in *instance) setContext(ctx context.Context) {
 	if ctx == nil || ctx.Done() == nil {
 		return
 	}
 	in.ctx = ctx
+	if d, ok := ctx.Deadline(); ok {
+		in.deadline = d
+	}
+}
+
+// observeCtx is the shared poll body: sticky ctx.Err() first, then the
+// direct deadline comparison.
+func (in *instance) observeCtx() {
+	if in.ctxErr = in.ctx.Err(); in.ctxErr == nil &&
+		!in.deadline.IsZero() && time.Now().After(in.deadline) {
+		in.ctxErr = context.DeadlineExceeded
+	}
 }
 
 // configure applies run options: cancellation context, the frontier
@@ -139,73 +196,15 @@ func (in *instance) stopped() bool { return in.ctxErr != nil }
 // boundaries, where a check is cheap relative to the phase).
 func (in *instance) pollCtx() {
 	if in.ctx != nil && in.ctxErr == nil {
-		in.ctxErr = in.ctx.Err()
+		in.observeCtx()
 	}
 }
 
-// build interns a query into graph form. The source and E-arc
-// endpoints are interned even when they do not occur in L or R, so
-// answers that the paper's pure graph formalism would not draw (exit
-// tuples leaving the L/R domains) are still produced.
+// build compiles a query and binds its source — the one-shot path the
+// Query.Solve* wrappers and the internal tests use. Serving paths
+// call Compile once and bind per query instead.
 func build(q Query) *instance {
-	in := &instance{}
-	lid := make(map[string]int32)
-	rid := make(map[string]int32)
-	internL := func(name string) int32 {
-		if id, ok := lid[name]; ok {
-			return id
-		}
-		id := int32(len(in.lNames))
-		lid[name] = id
-		in.lNames = append(in.lNames, name)
-		in.lOut = append(in.lOut, nil)
-		in.lIn = append(in.lIn, nil)
-		in.eOut = append(in.eOut, nil)
-		return id
-	}
-	internR := func(name string) int32 {
-		if id, ok := rid[name]; ok {
-			return id
-		}
-		id := int32(len(in.rNames))
-		rid[name] = id
-		in.rNames = append(in.rNames, name)
-		in.rOut = append(in.rOut, nil)
-		return id
-	}
-	in.src = internL(q.Source)
-	type arc struct{ u, v int32 }
-	addUnique := func(seen map[arc]bool, u, v int32) bool {
-		a := arc{u, v}
-		if seen[a] {
-			return false
-		}
-		seen[a] = true
-		return true
-	}
-	lSeen := make(map[arc]bool)
-	for _, p := range q.L {
-		u, v := internL(p.From), internL(p.To)
-		if addUnique(lSeen, u, v) {
-			in.lOut[u] = append(in.lOut[u], v)
-			in.lIn[v] = append(in.lIn[v], u)
-		}
-	}
-	eSeen := make(map[arc]bool)
-	for _, p := range q.E {
-		u, v := internL(p.From), internR(p.To)
-		if addUnique(eSeen, u, v) {
-			in.eOut[u] = append(in.eOut[u], v)
-		}
-	}
-	rSeen := make(map[arc]bool)
-	for _, p := range q.R {
-		b, c := internR(p.From), internR(p.To)
-		if addUnique(rSeen, b, c) {
-			in.rOut[c] = append(in.rOut[c], b)
-		}
-	}
-	return in
+	return Compile(q.L, q.E, q.R).bind(q.Source)
 }
 
 // charge adds n tuple retrievals and, every ctxPollStride calls,
@@ -217,17 +216,22 @@ func (in *instance) charge(n int64) {
 		if in.ctxStride >= ctxPollStride {
 			in.ctxStride = 0
 			if in.ctxErr == nil {
-				in.ctxErr = in.ctx.Err()
+				in.observeCtx()
 			}
 		}
 	}
 }
 
-// lGraph converts the magic graph G_L to a graph.Digraph for analysis.
+// lGraph returns the magic graph G_L as a graph.Digraph for analysis.
+// The compiled artifact carries it prebuilt; only a run with a
+// virtual source needs the one-node extension, built on demand.
 func (in *instance) lGraph() *graph.Digraph {
-	g := graph.NewDigraph(len(in.lNames))
-	for u := range in.lOut {
-		for _, v := range in.lOut[u] {
+	if in.nL == len(in.c.lNames) {
+		return in.c.lg
+	}
+	g := graph.NewDigraph(in.nL)
+	for u := 0; u < len(in.c.lNames); u++ {
+		for _, v := range in.c.lOut.row(int32(u)) {
 			g.AddArc(u, int(v))
 		}
 	}
@@ -239,7 +243,7 @@ func (in *instance) lGraph() *graph.Digraph {
 func (in *instance) answerNames(set *denseSet) []string {
 	out := make([]string, 0, set.size())
 	for _, id := range set.members() {
-		out = append(out, in.rNames[id])
+		out = append(out, in.c.rNames[id])
 	}
 	sort.Strings(out)
 	return out

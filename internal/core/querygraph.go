@@ -70,14 +70,14 @@ func (q Query) Params() GraphParams {
 
 	// R-side reachability: an R node enters G_Q through an E arc from
 	// a reachable L node, then along descent arcs.
-	nR := len(in.rNames)
+	nR := in.nR
 	reachR := make([]bool, nR)
 	var stack []int32
-	for v := 0; v < len(in.lNames); v++ {
+	for v := 0; v < in.nL; v++ {
 		if !reachL[v] {
 			continue
 		}
-		for _, y := range in.eOut[v] {
+		for _, y := range in.eOut(int32(v)) {
 			p.ME++
 			if !reachR[y] {
 				reachR[y] = true
@@ -88,7 +88,7 @@ func (q Query) Params() GraphParams {
 	for len(stack) > 0 {
 		y := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, y2 := range in.rOut[y] {
+		for _, y2 := range in.rOut(y) {
 			p.MR++
 			if !reachR[y2] {
 				reachR[y2] = true
@@ -170,7 +170,7 @@ func (q Query) WriteMagicGraphDOT(w io.Writer) error {
 	cls := g.Classify(int(in.src))
 	return g.WriteDOT(w, graph.DOTOptions{
 		Name:    "magic_graph",
-		Label:   func(v int) string { return in.lNames[v] },
+		Label:   func(v int) string { return in.lName(int32(v)) },
 		Classes: cls.Class,
 	})
 }

@@ -134,7 +134,7 @@ func (rs *ReducedSets) counts() (rm, rc int) {
 // recording for every node its first index and whether it was ever
 // re-derived at a later level (the C = 2 flag). Cost Θ(m_L).
 func (in *instance) flaggedBFS() (firstIdx []int, flagged []bool, ix int, iterations int) {
-	n := len(in.lNames)
+	n := in.nL
 	firstIdx = make([]int, n)
 	for i := range firstIdx {
 		firstIdx[i] = -1
@@ -157,8 +157,8 @@ func (in *instance) flaggedBFS() (firstIdx []int, flagged []bool, ix int, iterat
 		iterations++
 		var next []int32
 		for _, x := range level {
-			in.charge(1 + int64(len(in.lOut[x])))
-			for _, v := range in.lOut[x] {
+			in.charge(1 + int64(len(in.lOut(x))))
+			for _, v := range in.lOut(x) {
 				in.charge(1) // first-occurrence probe
 				switch {
 				case firstIdx[v] == -1:
@@ -260,7 +260,7 @@ func (in *instance) step1Single(integrated bool) *ReducedSets {
 // third, terminating on cyclic graphs in Θ(m_L) while identifying
 // exactly the non-single nodes.
 func (in *instance) step1Multiple(integrated bool) *ReducedSets {
-	n := len(in.lNames)
+	n := in.nL
 	idx1 := make([]int, n)
 	idx2 := make([]int, n)
 	for i := range idx1 {
@@ -275,8 +275,8 @@ func (in *instance) step1Multiple(integrated bool) *ReducedSets {
 		iterations++
 		var next []int32
 		for _, x := range level {
-			in.charge(1 + int64(len(in.lOut[x])))
-			for _, v := range in.lOut[x] {
+			in.charge(1 + int64(len(in.lOut(x))))
+			for _, v := range in.lOut(x) {
 				in.charge(1) // not(MS(_, 2, X1)) guard probe
 				switch {
 				case idx2[v] >= 0:
@@ -333,8 +333,8 @@ func (in *instance) step1RecurringNaive(integrated bool) *ReducedSets {
 		rt.begin(j, len(cs.at(j)))
 		iterations++
 		for _, x := range cs.at(j) {
-			in.charge(1 + int64(len(in.lOut[x])))
-			for _, x1 := range in.lOut[x] {
+			in.charge(1 + int64(len(in.lOut(x))))
+			for _, x1 := range in.lOut(x) {
 				in.charge(1) // level dedup probe
 				if cs.add(j+1, x1) {
 					seen.add(x1)
@@ -343,7 +343,7 @@ func (in *instance) step1RecurringNaive(integrated bool) *ReducedSets {
 		}
 	}
 	rt.done()
-	n := len(in.lNames)
+	n := in.nL
 	k := seen.size()
 	rs := &ReducedSets{
 		MS:         make([]bool, n),
@@ -400,7 +400,7 @@ func (in *instance) step1RecurringSCC(integrated bool) *ReducedSets {
 	// Charge the SCC + reachability sweeps: linear in arcs visited.
 	in.charge(int64(2*g.M() + 2*g.N()))
 	c := g.Classify(int(in.src))
-	n := len(in.lNames)
+	n := in.nL
 	rs := &ReducedSets{
 		MS:         make([]bool, n),
 		RM:         make([]bool, n),

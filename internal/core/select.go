@@ -57,7 +57,15 @@ type Selection struct {
 // The analysis itself is a linear-time classification of the magic
 // graph and is not charged to any meter.
 func ChooseMethod(q Query) Selection {
-	in := build(q)
+	return Compile(q.L, q.E, q.R).ChooseMethod(q.Source)
+}
+
+// ChooseMethod picks a magic counting method for one source on the
+// compiled instance; see the function-level ChooseMethod for the
+// selection policy. The classification reuses the precomputed magic
+// graph, so repeated selections cost no rebuild.
+func (c *Compiled) ChooseMethod(source string) Selection {
+	in := c.bind(source)
 	cls := in.lGraph().Classify(int(in.src))
 	switch {
 	case cls.Regular:
@@ -89,8 +97,15 @@ func ChooseMethod(q Query) Selection {
 // returning the selection alongside the result. opts supplies run
 // options (notably Ctx); the selection's own Options are merged in.
 func (q Query) SolveAuto(opts Options) (*Result, Selection, error) {
+	return compileTraced(q, opts.Trace).SolveAuto(q.Source, opts)
+}
+
+// SolveAuto evaluates one source on the compiled instance with the
+// method ChooseMethod selects, returning the selection alongside the
+// result.
+func (c *Compiled) SolveAuto(source string, opts Options) (*Result, Selection, error) {
 	cs := opts.Trace.Start("classify", 0)
-	sel := ChooseMethod(q)
+	sel := c.ChooseMethod(source)
 	if cs != nil {
 		cs.Name = "classify/" + sel.Regime.String()
 	}
@@ -98,6 +113,8 @@ func (q Query) SolveAuto(opts Options) (*Result, Selection, error) {
 	run := sel.Options
 	run.Ctx = opts.Ctx
 	run.Trace = opts.Trace
-	res, err := q.SolveMagicCountingOpts(sel.Strategy, sel.Mode, run)
+	run.Workers = opts.Workers
+	run.ParallelThreshold = opts.ParallelThreshold
+	res, err := c.Solve(source, sel.Strategy, sel.Mode, run)
 	return res, sel, err
 }

@@ -34,7 +34,7 @@ func (p *Proof) String() string {
 func Witness(q Query, answer string) (*Proof, error) {
 	in := build(q)
 	var target int32 = -1
-	for id, name := range in.rNames {
+	for id, name := range in.c.rNames {
 		if name == answer {
 			target = int32(id)
 		}
@@ -44,15 +44,15 @@ func Witness(q Query, answer string) (*Proof, error) {
 	}
 	// rUp is the inverse of the descent adjacency: rUp[b] = nodes one
 	// R-step above b (i.e. c with descent arc c -> b).
-	rUp := make([][]int32, len(in.rNames))
-	for c := range in.rOut {
-		for _, b := range in.rOut[c] {
+	rUp := make([][]int32, in.nR)
+	for c := 0; c < in.nR; c++ {
+		for _, b := range in.rOut(int32(c)) {
 			rUp[b] = append(rUp[b], int32(c))
 		}
 	}
 	eSet := make(map[int64]bool)
-	for x := range in.eOut {
-		for _, y := range in.eOut[x] {
+	for x := 0; x < in.nL; x++ {
+		for _, y := range in.eOut(int32(x)) {
 			eSet[int64(x)<<32|int64(uint32(y))] = true
 		}
 	}
@@ -71,7 +71,7 @@ func Witness(q Query, answer string) (*Proof, error) {
 			goal = &g
 			break
 		}
-		for _, x1 := range in.lOut[s.x] {
+		for _, x1 := range in.lOut(s.x) {
 			for _, y1 := range rUp[s.y] {
 				n := state{x1, y1}
 				if !seen[n] {
@@ -89,15 +89,15 @@ func Witness(q Query, answer string) (*Proof, error) {
 	var lRev, rRev []string
 	s := *goal
 	for {
-		lRev = append(lRev, in.lNames[s.x])
-		rRev = append(rRev, in.rNames[s.y])
+		lRev = append(lRev, in.lName(s.x))
+		rRev = append(rRev, in.c.rNames[s.y])
 		p, ok := parent[s]
 		if !ok {
 			break
 		}
 		s = p
 	}
-	proof := &Proof{Crossing: Pair{From: in.lNames[goal.x], To: ""}}
+	proof := &Proof{Crossing: Pair{From: in.lName(goal.x), To: ""}}
 	for i := len(lRev) - 1; i >= 0; i-- {
 		proof.LPath = append(proof.LPath, lRev[i])
 	}
@@ -105,9 +105,9 @@ func Witness(q Query, answer string) (*Proof, error) {
 	// state holds the E target, the start state the answer.
 	proof.RPath = append(proof.RPath, rRev...)
 	// Identify the E arc used.
-	for _, y := range in.eOut[goal.x] {
+	for _, y := range in.eOut(goal.x) {
 		if y == goal.y {
-			proof.Crossing.To = in.rNames[y]
+			proof.Crossing.To = in.c.rNames[y]
 			break
 		}
 	}

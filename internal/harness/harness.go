@@ -25,26 +25,34 @@ type MethodDef struct {
 	// methods with no options-taking entry point (naive, magic), which
 	// therefore cannot be traced.
 	RunOpts func(core.Query, core.Options) (*core.Result, error)
+	// RunC evaluates a bound source against a pre-built Compiled — the
+	// build-once path for callers solving many sources over one
+	// database (mcq -sources, the compile amortization probes).
+	RunC func(*core.Compiled, string, core.Options) (*core.Result, error)
 }
 
 // Methods lists every evaluable method: the naive ground truth, the
 // two baselines, the eight magic counting family members, and the two
 // extensions.
 var Methods = []MethodDef{
-	{"naive", "naive bottom-up evaluation of the original program", core.Query.SolveNaive, nil},
+	{"naive", "naive bottom-up evaluation of the original program", core.Query.SolveNaive, nil,
+		func(c *core.Compiled, src string, _ core.Options) (*core.Result, error) { return c.SolveNaive(src) }},
 	{"counting", "counting method (§2); unsafe on cyclic magic graphs", core.Query.SolveCounting,
-		func(q core.Query, o core.Options) (*core.Result, error) { return q.SolveCountingOpts(o) }},
+		func(q core.Query, o core.Options) (*core.Result, error) { return q.SolveCountingOpts(o) },
+		func(c *core.Compiled, src string, o core.Options) (*core.Result, error) { return c.SolveCounting(src, o) }},
 	{"counting-cyclic", "generalized counting extension (safe, [MPS]/[SZ2] footnote)", core.Query.SolveCountingCyclic,
-		func(q core.Query, o core.Options) (*core.Result, error) { return q.SolveCountingCyclicOpts(o) }},
-	{"magic", "magic set method (§2)", core.Query.SolveMagic, nil},
-	{"mc-basic-ind", "basic magic counting, independent (§4, §6)", mc(core.Basic, core.Independent), mcOpts(core.Basic, core.Independent)},
-	{"mc-basic-int", "basic magic counting, integrated (§5, §6)", mc(core.Basic, core.Integrated), mcOpts(core.Basic, core.Integrated)},
-	{"mc-single-ind", "single magic counting, independent (§7)", mc(core.Single, core.Independent), mcOpts(core.Single, core.Independent)},
-	{"mc-single-int", "single magic counting, integrated (§7; the [SZ1] method)", mc(core.Single, core.Integrated), mcOpts(core.Single, core.Integrated)},
-	{"mc-multiple-ind", "multiple magic counting, independent (§8)", mc(core.Multiple, core.Independent), mcOpts(core.Multiple, core.Independent)},
-	{"mc-multiple-int", "multiple magic counting, integrated (§8)", mc(core.Multiple, core.Integrated), mcOpts(core.Multiple, core.Integrated)},
-	{"mc-recurring-ind", "recurring magic counting, independent (§9)", mc(core.Recurring, core.Independent), mcOpts(core.Recurring, core.Independent)},
-	{"mc-recurring-int", "recurring magic counting, integrated (§9)", mc(core.Recurring, core.Integrated), mcOpts(core.Recurring, core.Integrated)},
+		func(q core.Query, o core.Options) (*core.Result, error) { return q.SolveCountingCyclicOpts(o) },
+		func(c *core.Compiled, src string, o core.Options) (*core.Result, error) { return c.SolveCountingCyclic(src, o) }},
+	{"magic", "magic set method (§2)", core.Query.SolveMagic, nil,
+		func(c *core.Compiled, src string, _ core.Options) (*core.Result, error) { return c.SolveMagic(src) }},
+	{"mc-basic-ind", "basic magic counting, independent (§4, §6)", mc(core.Basic, core.Independent), mcOpts(core.Basic, core.Independent), mcC(core.Basic, core.Independent)},
+	{"mc-basic-int", "basic magic counting, integrated (§5, §6)", mc(core.Basic, core.Integrated), mcOpts(core.Basic, core.Integrated), mcC(core.Basic, core.Integrated)},
+	{"mc-single-ind", "single magic counting, independent (§7)", mc(core.Single, core.Independent), mcOpts(core.Single, core.Independent), mcC(core.Single, core.Independent)},
+	{"mc-single-int", "single magic counting, integrated (§7; the [SZ1] method)", mc(core.Single, core.Integrated), mcOpts(core.Single, core.Integrated), mcC(core.Single, core.Integrated)},
+	{"mc-multiple-ind", "multiple magic counting, independent (§8)", mc(core.Multiple, core.Independent), mcOpts(core.Multiple, core.Independent), mcC(core.Multiple, core.Independent)},
+	{"mc-multiple-int", "multiple magic counting, integrated (§8)", mc(core.Multiple, core.Integrated), mcOpts(core.Multiple, core.Integrated), mcC(core.Multiple, core.Integrated)},
+	{"mc-recurring-ind", "recurring magic counting, independent (§9)", mc(core.Recurring, core.Independent), mcOpts(core.Recurring, core.Independent), mcC(core.Recurring, core.Independent)},
+	{"mc-recurring-int", "recurring magic counting, integrated (§9)", mc(core.Recurring, core.Integrated), mcOpts(core.Recurring, core.Integrated), mcC(core.Recurring, core.Integrated)},
 	{"mc-recurring-scc", "recurring integrated with the Tarjan Step 1 (§9 improvement)",
 		func(q core.Query) (*core.Result, error) {
 			return q.SolveMagicCountingOpts(core.Recurring, core.Integrated, core.Options{SCCStep1: true})
@@ -52,6 +60,10 @@ var Methods = []MethodDef{
 		func(q core.Query, o core.Options) (*core.Result, error) {
 			o.SCCStep1 = true
 			return q.SolveMagicCountingOpts(core.Recurring, core.Integrated, o)
+		},
+		func(c *core.Compiled, src string, o core.Options) (*core.Result, error) {
+			o.SCCStep1 = true
+			return c.Solve(src, core.Recurring, core.Integrated, o)
 		}},
 }
 
@@ -62,6 +74,12 @@ func mc(s core.Strategy, m core.Mode) func(core.Query) (*core.Result, error) {
 func mcOpts(s core.Strategy, m core.Mode) func(core.Query, core.Options) (*core.Result, error) {
 	return func(q core.Query, o core.Options) (*core.Result, error) {
 		return q.SolveMagicCountingOpts(s, m, o)
+	}
+}
+
+func mcC(s core.Strategy, m core.Mode) func(*core.Compiled, string, core.Options) (*core.Result, error) {
+	return func(c *core.Compiled, src string, o core.Options) (*core.Result, error) {
+		return c.Solve(src, s, m, o)
 	}
 }
 

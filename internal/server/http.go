@@ -11,11 +11,12 @@ import (
 
 // NewHandler exposes the service as a JSON HTTP API:
 //
-//	POST /v1/query   {"source": "a", "strategy": "...", "mode": "...", "timeout_ms": 100}
-//	POST /v1/facts   {"l": [...], "e": [...], "r": [...], "parent": [...]} (pairs are {"from": "x", "to": "y"})
-//	GET  /v1/stats   service counters as JSON
-//	GET  /healthz    liveness probe
-//	GET  /metrics    Prometheus text exposition
+//	POST /v1/query        {"source": "a", "strategy": "...", "mode": "...", "timeout_ms": 100}
+//	POST /v1/query/batch  {"sources": ["a", "b"], "strategy": "...", "mode": "...", "timeout_ms": 100}
+//	POST /v1/facts        {"l": [...], "e": [...], "r": [...], "parent": [...]} (pairs are {"from": "x", "to": "y"})
+//	GET  /v1/stats        service counters as JSON
+//	GET  /healthz         liveness probe
+//	GET  /metrics         Prometheus text exposition
 func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/query", func(w http.ResponseWriter, r *http.Request) {
@@ -24,6 +25,18 @@ func NewHandler(s *Service) http.Handler {
 			return
 		}
 		resp, err := s.Query(r.Context(), req)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("POST /v1/query/batch", func(w http.ResponseWriter, r *http.Request) {
+		var req BatchRequest
+		if err := decodeJSON(w, r, &req); err != nil {
+			return
+		}
+		resp, err := s.QueryBatch(r.Context(), req)
 		if err != nil {
 			writeError(w, err)
 			return

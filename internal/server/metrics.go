@@ -181,7 +181,9 @@ func (s *Service) WriteMetrics(w io.Writer) error {
 		name, help string
 		value      any
 	}{
-		{"mc_queries_total", "Queries received.", st.Queries},
+		{"mc_queries_total", "Queries received (batch items counted individually).", st.Queries},
+		{"mc_batch_requests_total", "Batch query requests received.", st.BatchRequests},
+		{"mc_compiles_total", "Compiled query-graph builds (once per generation on the happy path).", st.Compiles},
 		{"mc_queries_rejected_total", "Queries fast-failed with ErrClosed during shutdown (excluded from errors and latency).", st.QueriesRejected},
 		{"mc_cache_hits_total", "Queries answered from the result cache.", st.CacheHits},
 		{"mc_cache_misses_total", "Queries that ran a solver.", st.CacheMisses},

@@ -1,10 +1,14 @@
 // Package server is the serving layer over the core magic counting
 // solvers: a long-lived Service owning the database relations L, E,
-// and R, a bounded worker pool, and a per-(source, strategy, mode)
-// result cache with generation-based invalidation, so repeated bound
-// queries against a slowly-changing database amortize Step 1 and
-// Step 2 instead of recomputing them — the workload the paper (and
-// the magic-sets literature after it) is about.
+// and R, a bounded worker pool, a build-once compiled query graph
+// (core.Compiled) shared read-only by every query of one database
+// generation, and a per-(source, strategy, mode) result cache with
+// generation-based invalidation and CLOCK (second-chance) eviction,
+// so repeated bound queries against a slowly-changing database
+// amortize interning, Step 1, and Step 2 instead of recomputing
+// them — the workload the paper (and the magic-sets literature after
+// it) is about. QueryBatch answers many bound constants against one
+// snapshot with a single compile.
 //
 // cmd/mcserved wraps the Service in a JSON HTTP API.
 package server
@@ -80,6 +84,11 @@ type cacheEntry struct {
 	mode       core.Mode
 	regime     string
 	reason     string
+	// ref is the CLOCK reference bit: readers set it on every hit
+	// (under the read lock, hence atomic), and the eviction sweep
+	// clears it once before a victim is taken — a second chance that
+	// keeps repeatedly-hit entries resident through cache churn.
+	ref atomic.Bool
 }
 
 // Service owns a database of L/E/R facts and answers magic counting
@@ -96,6 +105,14 @@ type Service struct {
 	lSet, eSet, rSet map[core.Pair]bool
 	generation       uint64
 	cache            map[cacheKey]*cacheEntry
+	// compiled is the build-once CSR artifact for the current
+	// generation, shared read-only by every query of that generation;
+	// AppendFacts drops it on a bump and the next miss recompiles.
+	compiled *core.Compiled
+	// clock and hand are the CLOCK eviction state: the ring of resident
+	// cache keys and the sweep position. Both are guarded by mu.
+	clock []cacheKey
+	hand  int
 
 	start time.Time
 	lat   *latencyRing
@@ -111,6 +128,8 @@ type Service struct {
 	closed atomic.Bool
 
 	queries     atomic.Int64
+	batches     atomic.Int64
+	compiles    atomic.Int64
 	rejected    atomic.Int64
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
@@ -308,15 +327,18 @@ func (s *Service) query(ctx context.Context, req QueryRequest) (*QueryResponse, 
 	key := cacheKey{source: req.Source, strategy: strategy, mode: mode, auto: auto}
 
 	// Snapshot the database under the read lock. The slices are
-	// copy-on-write (AppendFacts replaces them wholesale), so the
-	// solve below runs lock-free on an immutable generation.
+	// copy-on-write (AppendFacts replaces them wholesale) and the
+	// compiled artifact is immutable, so the solve below runs
+	// lock-free on an immutable generation.
 	cs := tr.Start("cache", 0)
 	s.mu.RLock()
 	l, e, r, gen := s.l, s.e, s.r, s.generation
+	comp := s.compiled
 	entry := s.cache[key]
 	s.mu.RUnlock()
 
 	if entry != nil && entry.generation == gen {
+		entry.ref.Store(true)
 		s.cacheHits.Add(1)
 		cs.Set("hit", 1)
 		tr.End(cs, 0)
@@ -338,12 +360,12 @@ func (s *Service) query(ctx context.Context, req QueryRequest) (*QueryResponse, 
 	cs.Set("hit", 0)
 	tr.End(cs, 0)
 
-	q := core.Query{L: l, E: e, R: r, Source: req.Source}
+	comp = s.compiledFor(comp, gen, l, e, r, tr)
 	opts := core.Options{Ctx: ctx, Trace: tr}
 	regime, reason := "", ""
 	if auto {
 		cls := tr.Start("classify", 0)
-		sel := core.ChooseMethod(q)
+		sel := comp.ChooseMethod(req.Source)
 		if cls != nil {
 			cls.Name = "classify/" + sel.Regime.String()
 		}
@@ -353,7 +375,7 @@ func (s *Service) query(ctx context.Context, req QueryRequest) (*QueryResponse, 
 		regime, reason = sel.Regime.String(), sel.Reason
 	}
 	ss := tr.Start("solve", 0)
-	res, err := q.SolveMagicCountingOpts(strategy, mode, opts)
+	res, err := comp.Solve(req.Source, strategy, mode, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -361,22 +383,14 @@ func (s *Service) query(ctx context.Context, req QueryRequest) (*QueryResponse, 
 	s.retrievals.Add(res.Stats.Retrievals)
 
 	s.mu.Lock()
-	// Only cache results still current: if AppendFacts bumped the
-	// generation mid-solve, the result reflects the old snapshot and
-	// must not serve future queries.
-	if s.generation == gen {
-		if len(s.cache) >= s.cfg.CacheCap {
-			s.evictOneLocked()
-		}
-		s.cache[key] = &cacheEntry{
-			generation: gen,
-			result:     res,
-			strategy:   strategy,
-			mode:       mode,
-			regime:     regime,
-			reason:     reason,
-		}
-	}
+	s.storeResultLocked(key, gen, &cacheEntry{
+		generation: gen,
+		result:     res,
+		strategy:   strategy,
+		mode:       mode,
+		regime:     regime,
+		reason:     reason,
+	})
 	s.mu.Unlock()
 
 	return &QueryResponse{
@@ -404,14 +418,325 @@ func nonNilAnswers(a []string) []string {
 	return a
 }
 
-// evictOneLocked drops one cache entry at random. Every entry is
-// live — AppendFacts purges dead generations on every bump and query
-// only caches current-generation results — so there is no better
-// victim to prefer, and random eviction over a small map needs no
-// LRU bookkeeping.
+// maxBatchSources bounds one batch request. 1024 sources amortize one
+// compile thoroughly; anything larger should be split so a single
+// request cannot monopolize the worker pool for an unbounded stretch.
+const maxBatchSources = 1024
+
+// BatchRequest asks for the answers to ?- P(a, Y) for many bound
+// constants a at once against one database snapshot: the compiled
+// query graph is built (or fetched) once and shared by every item,
+// which is the whole point of the endpoint — per-query work shrinks to
+// bind-and-solve. Strategy and Mode apply to every item; empty
+// Strategy selects per-item automatically. TimeoutM bounds the whole
+// batch.
+type BatchRequest struct {
+	Sources  []string `json:"sources"`
+	Strategy string   `json:"strategy,omitempty"`
+	Mode     string   `json:"mode,omitempty"`
+	TimeoutM int64    `json:"timeout_ms,omitempty"`
+}
+
+// BatchItem is one source's outcome. Items fail independently: a
+// per-item Error (timeout, shutdown) leaves the rest of the batch
+// intact. A duplicate source is folded onto its first occurrence and
+// reported Cached with zero NewRetrievals.
+type BatchItem struct {
+	Source        string     `json:"source"`
+	Answers       []string   `json:"answers"`
+	Stats         core.Stats `json:"stats"`
+	Strategy      string     `json:"strategy,omitempty"`
+	Mode          string     `json:"mode,omitempty"`
+	Auto          bool       `json:"auto"`
+	Regime        string     `json:"regime,omitempty"`
+	Reason        string     `json:"reason,omitempty"`
+	Cached        bool       `json:"cached"`
+	NewRetrievals int64      `json:"new_retrievals"`
+	Error         string     `json:"error,omitempty"`
+}
+
+// BatchResponse answers a batch; Items aligns with Sources.
+type BatchResponse struct {
+	Items      []BatchItem `json:"items"`
+	Generation uint64      `json:"generation"`
+	ElapsedMS  float64     `json:"elapsed_ms"`
+}
+
+// QueryBatch answers every source of req against one snapshot of the
+// database: one read-lock pass snapshots the generation, the compiled
+// artifact, and the cache entries; at most one compile runs for the
+// whole batch; and the misses fan out across the worker pool, each
+// item acquiring a slot like a singleton query would. Per-item
+// failures are reported in the item, not as a batch error.
+func (s *Service) QueryBatch(ctx context.Context, req BatchRequest) (*BatchResponse, error) {
+	started := time.Now()
+	s.batches.Add(1)
+	if s.closed.Load() {
+		s.rejected.Add(1)
+		return nil, ErrClosed
+	}
+	if len(req.Sources) == 0 {
+		return nil, fmt.Errorf("%w: empty sources", ErrBadRequest)
+	}
+	if len(req.Sources) > maxBatchSources {
+		return nil, fmt.Errorf("%w: %d sources exceed the batch limit of %d", ErrBadRequest, len(req.Sources), maxBatchSources)
+	}
+	auto := req.Strategy == ""
+	var strategy core.Strategy
+	var mode core.Mode
+	var err error
+	if !auto {
+		if strategy, err = ParseStrategy(req.Strategy); err != nil {
+			return nil, err
+		}
+		mode = core.Integrated
+		if req.Mode != "" {
+			if mode, err = ParseMode(req.Mode); err != nil {
+				return nil, err
+			}
+		}
+	} else if req.Mode != "" {
+		return nil, fmt.Errorf("%w: mode %q given without a strategy (omit both for automatic selection)", ErrBadRequest, req.Mode)
+	}
+	s.queries.Add(int64(len(req.Sources)))
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutM > 0 {
+		timeout = time.Duration(req.TimeoutM) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+
+	// One snapshot serves the whole batch: every item evaluates the
+	// same immutable generation, however many appends land mid-flight.
+	s.mu.RLock()
+	l, e, r, gen := s.l, s.e, s.r, s.generation
+	comp := s.compiled
+	entries := make(map[string]*cacheEntry, len(req.Sources))
+	for _, src := range req.Sources {
+		if _, seen := entries[src]; !seen {
+			entries[src] = s.cache[cacheKey{source: src, strategy: strategy, mode: mode, auto: auto}]
+		}
+	}
+	s.mu.RUnlock()
+
+	items := make([]BatchItem, len(req.Sources))
+	store := make([]*cacheEntry, len(req.Sources))
+	first := make(map[string]int, len(req.Sources))
+	var missing []int
+	for i, src := range req.Sources {
+		items[i] = BatchItem{Source: src, Auto: auto, Answers: []string{}}
+		if src == "" {
+			s.queryErrors.Add(1)
+			items[i].Error = "empty source"
+			continue
+		}
+		if _, dup := first[src]; dup {
+			continue // folded onto the first occurrence below
+		}
+		first[src] = i
+		if entry := entries[src]; entry != nil && entry.generation == gen {
+			entry.ref.Store(true)
+			s.cacheHits.Add(1)
+			items[i] = BatchItem{
+				Source:   src,
+				Answers:  nonNilAnswers(entry.result.Answers),
+				Stats:    entry.result.Stats,
+				Strategy: entry.strategy.String(),
+				Mode:     entry.mode.String(),
+				Auto:     auto,
+				Regime:   entry.regime,
+				Reason:   entry.reason,
+				Cached:   true,
+			}
+			s.byMethod.inc(methodKey(items[i].Strategy, items[i].Mode))
+			if auto {
+				s.byRegime.inc(entry.regime)
+			}
+			continue
+		}
+		missing = append(missing, i)
+	}
+
+	if len(missing) > 0 {
+		comp = s.compiledFor(comp, gen, l, e, r, nil)
+	}
+	var wg sync.WaitGroup
+	for _, i := range missing {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			src := items[i].Source
+			select {
+			case s.sem <- struct{}{}:
+				if s.closed.Load() {
+					<-s.sem
+					s.rejected.Add(1)
+					items[i].Error = ErrClosed.Error()
+					return
+				}
+				defer func() { <-s.sem }()
+			case <-ctx.Done():
+				s.queryErrors.Add(1)
+				if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+					s.timeouts.Add(1)
+				}
+				items[i].Error = ctx.Err().Error()
+				return
+			}
+			st, md := strategy, mode
+			opts := core.Options{Ctx: ctx}
+			regime, reason := "", ""
+			if auto {
+				sel := comp.ChooseMethod(src)
+				st, md = sel.Strategy, sel.Mode
+				opts.SCCStep1 = sel.Options.SCCStep1
+				regime, reason = sel.Regime.String(), sel.Reason
+			}
+			res, err := comp.Solve(src, st, md, opts)
+			if err != nil {
+				s.queryErrors.Add(1)
+				if errors.Is(err, context.DeadlineExceeded) {
+					s.timeouts.Add(1)
+				}
+				items[i].Error = err.Error()
+				return
+			}
+			s.cacheMisses.Add(1)
+			s.retrievals.Add(res.Stats.Retrievals)
+			s.retHist.observe(float64(res.Stats.Retrievals))
+			s.byMethod.inc(methodKey(st.String(), md.String()))
+			if auto {
+				s.byRegime.inc(regime)
+			}
+			items[i] = BatchItem{
+				Source:        src,
+				Answers:       nonNilAnswers(res.Answers),
+				Stats:         res.Stats,
+				Strategy:      st.String(),
+				Mode:          md.String(),
+				Auto:          auto,
+				Regime:        regime,
+				Reason:        reason,
+				NewRetrievals: res.Stats.Retrievals,
+			}
+			store[i] = &cacheEntry{
+				generation: gen,
+				result:     res,
+				strategy:   st,
+				mode:       md,
+				regime:     regime,
+				reason:     reason,
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// Fold duplicates onto their first occurrence's outcome, and store
+	// the fresh results under one lock.
+	for i, src := range req.Sources {
+		if j, ok := first[src]; ok && j != i {
+			items[i] = items[j]
+			if items[i].Error == "" {
+				items[i].Cached = true
+				items[i].NewRetrievals = 0
+			}
+		}
+	}
+	s.mu.Lock()
+	for i, entry := range store {
+		if entry != nil {
+			s.storeResultLocked(cacheKey{source: items[i].Source, strategy: strategy, mode: mode, auto: auto}, gen, entry)
+		}
+	}
+	s.mu.Unlock()
+
+	elapsed := time.Since(started)
+	s.lat.record(elapsed)
+	s.latHist.observe(elapsed.Seconds())
+	return &BatchResponse{
+		Items:      items,
+		Generation: gen,
+		ElapsedMS:  float64(elapsed.Microseconds()) / 1000,
+	}, nil
+}
+
+// compiledFor returns the compiled CSR artifact for the snapshot taken
+// at gen, building one when the cached artifact is stale. The build
+// runs outside the lock on the immutable copy-on-write slices, under a
+// "compile" span when tracing; concurrent misses on a fresh generation
+// may compile redundantly, but only a still-current artifact is
+// published, and losers just solve on their local copy.
+func (s *Service) compiledFor(comp *core.Compiled, gen uint64, l, e, r []core.Pair, tr *obs.Trace) *core.Compiled {
+	if comp != nil && comp.Generation == gen {
+		return comp
+	}
+	bs := tr.Start("compile", 0)
+	c := core.Compile(l, e, r)
+	c.Generation = gen
+	if bs != nil {
+		bs.Set("l_nodes", int64(c.NumL()))
+		bs.Set("r_nodes", int64(c.NumR()))
+	}
+	tr.End(bs, 0)
+	s.compiles.Add(1)
+	s.mu.Lock()
+	if s.generation == gen && (s.compiled == nil || s.compiled.Generation != gen) {
+		s.compiled = c
+	}
+	s.mu.Unlock()
+	return c
+}
+
+// storeResultLocked caches entry under key if the snapshot generation
+// is still current: if AppendFacts bumped the generation mid-solve,
+// the result reflects the old snapshot and must not serve future
+// queries. First-time keys join the CLOCK ring, evicting a victim
+// when the cache is at capacity.
+func (s *Service) storeResultLocked(key cacheKey, gen uint64, entry *cacheEntry) {
+	if s.generation != gen {
+		return
+	}
+	if _, exists := s.cache[key]; !exists {
+		if len(s.cache) >= s.cfg.CacheCap {
+			s.evictOneLocked()
+		}
+		s.clock = append(s.clock, key)
+	}
+	s.cache[key] = entry
+}
+
+// evictOneLocked drops one cache entry by the CLOCK (second-chance)
+// policy: the hand sweeps the ring of resident keys, clearing each
+// set reference bit it passes and evicting the first entry found with
+// its bit already clear. Entries hit since the last sweep survive one
+// extra revolution, so a repeatedly-hit key outlives any amount of
+// one-shot churn at full capacity — the approximation of LRU that
+// needs no per-hit write lock. Terminates within two revolutions: the
+// first pass clears every bit it sees.
 func (s *Service) evictOneLocked() {
-	for k := range s.cache {
+	for len(s.clock) > 0 {
+		if s.hand >= len(s.clock) {
+			s.hand = 0
+		}
+		k := s.clock[s.hand]
+		entry := s.cache[k]
+		if entry == nil {
+			// Dead slot (entry purged behind the ring): compact by
+			// swapping the last slot in, and resweep the position.
+			last := len(s.clock) - 1
+			s.clock[s.hand] = s.clock[last]
+			s.clock = s.clock[:last]
+			continue
+		}
+		if entry.ref.CompareAndSwap(true, false) {
+			s.hand++ // second chance
+			continue
+		}
 		delete(s.cache, k)
+		last := len(s.clock) - 1
+		s.clock[s.hand] = s.clock[last]
+		s.clock = s.clock[:last]
 		return
 	}
 }
@@ -481,6 +806,9 @@ func (s *Service) AppendFacts(req FactsRequest) (*FactsResponse, error) {
 		s.rSet[p] = true
 	}
 	s.generation++
+	// The compiled artifact describes the old generation; drop it so
+	// the next miss rebuilds from the new slices.
+	s.compiled = nil
 	// Purge dead generations immediately: stale entries are
 	// unreachable (generation mismatch) and would otherwise sit in
 	// cache slots indefinitely, inflating mc_cache_entries and
@@ -491,6 +819,13 @@ func (s *Service) AppendFacts(req FactsRequest) (*FactsResponse, error) {
 			delete(s.cache, k)
 		}
 	}
+	// Rebuild the CLOCK ring over the survivors (normally none) so the
+	// sweep never walks a ring of dead slots.
+	s.clock = s.clock[:0]
+	for k := range s.cache {
+		s.clock = append(s.clock, k)
+	}
+	s.hand = 0
 	return &FactsResponse{
 		Generation: s.generation,
 		AddedL:     len(addL),
@@ -540,6 +875,8 @@ type Stats struct {
 	FactsE          int     `json:"facts_e"`
 	FactsR          int     `json:"facts_r"`
 	Queries         int64   `json:"queries"`
+	BatchRequests   int64   `json:"batch_requests"`
+	Compiles        int64   `json:"compiles"`
 	QueriesRejected int64   `json:"queries_rejected"`
 	CacheHits       int64   `json:"cache_hits"`
 	CacheMisses     int64   `json:"cache_misses"`
@@ -587,6 +924,8 @@ func (s *Service) Stats() Stats {
 		FactsE:          fe,
 		FactsR:          fr,
 		Queries:         s.queries.Load(),
+		BatchRequests:   s.batches.Load(),
+		Compiles:        s.compiles.Load(),
 		QueriesRejected: s.rejected.Load(),
 		CacheHits:       s.cacheHits.Load(),
 		CacheMisses:     s.cacheMisses.Load(),
