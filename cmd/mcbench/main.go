@@ -48,6 +48,9 @@ func run(args []string, stdout io.Writer) error {
 	benchRounds := fs.Int("benchrounds", 3, "micro benchmark repetitions; the fastest round is recorded")
 	traceGuard := fs.Bool("traceguard", false, "compare tracing-disabled vs enabled-but-unsampled hot paths; fail on slowdown beyond -trace-tolerance or any retrieval-count drift")
 	traceTolerance := fs.Float64("trace-tolerance", 0.02, "allowed fractional slowdown of the unsampled path for -traceguard")
+	recovery := fs.Bool("recovery", false, "probe crash recovery: cold WAL replay vs snapshot+tail over the same history; fail below -recovery-min-speedup")
+	recoveryRecords := fs.Int("recovery-records", 20_000, "committed WAL records for the -recovery probe")
+	recoveryMinSpeedup := fs.Float64("recovery-min-speedup", 5, "required cold/snapshot recovery speedup for -recovery (0 disables the gate)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -62,6 +65,32 @@ func run(args []string, stdout io.Writer) error {
 			out = f
 		}
 		return runTraceGuard(*benchRounds, *traceTolerance, out)
+	}
+	if *recovery {
+		out := stdout
+		if *outPath != "" {
+			f, err := os.Create(*outPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			out = f
+		}
+		res, err := runRecoveryProbe(*recoveryRecords, *benchRounds, out)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			path, err := writeRecoveryJSON(".", res)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "wrote %s\n", path)
+		}
+		if *recoveryMinSpeedup > 0 && res.Speedup < *recoveryMinSpeedup {
+			return fmt.Errorf("recovery speedup %.2fx below the required %.2fx", res.Speedup, *recoveryMinSpeedup)
+		}
+		return nil
 	}
 	var baseline *benchFile
 	if *comparePath != "" {
@@ -195,6 +224,26 @@ type benchFile struct {
 	Sizes       []int             `json:"sizes"`
 	Experiments []benchExperiment `json:"experiments"`
 	Micro       []bench.Micro     `json:"micro,omitempty"`
+	Recovery    *recoveryResult   `json:"recovery,omitempty"`
+}
+
+// writeRecoveryJSON writes a BENCH record holding only the recovery
+// probe (the -recovery mode runs no experiment sweep).
+func writeRecoveryJSON(dir string, res *recoveryResult) (string, error) {
+	now := time.Now()
+	bf := benchFile{Timestamp: now.Format(time.RFC3339), Recovery: res}
+	path := fmt.Sprintf("%s/BENCH_%s.json", dir, now.Format("20060102T150405"))
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(bf); err != nil {
+		f.Close()
+		return "", err
+	}
+	return path, f.Close()
 }
 
 // writeBenchJSON writes the benchmark record into dir and returns the

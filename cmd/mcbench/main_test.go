@@ -176,6 +176,55 @@ func TestErrors(t *testing.T) {
 	}
 }
 
+// TestRecoveryProbeFlag runs the crash-recovery probe on a small
+// history: the report and BENCH record must carry both recovery
+// times, and the speedup gate must be enforced.
+func TestRecoveryProbeFlag(t *testing.T) {
+	dir := t.TempDir()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(wd)
+	var buf bytes.Buffer
+	// A tiny history keeps the test fast; the 5x acceptance gate is
+	// only meaningful at production record counts, so disable it here.
+	if err := run([]string{"-recovery", "-recovery-records", "500", "-recovery-min-speedup", "0", "-benchrounds", "1", "-json"}, &buf); err != nil {
+		t.Fatalf("recovery probe failed: %v\n%s", err, buf.String())
+	}
+	for _, want := range []string{"recovery probe: 500 records", "cold replay:", "snapshot + 5 tail:", "speedup:"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, buf.String())
+		}
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("BENCH files: %v (err %v), want exactly 1", matches, err)
+	}
+	var bf benchFile
+	data, err := os.ReadFile(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &bf); err != nil {
+		t.Fatal(err)
+	}
+	if bf.Recovery == nil || bf.Recovery.Records != 500 || bf.Recovery.ColdRecordsPerSec <= 0 ||
+		bf.Recovery.ColdMS <= 0 || bf.Recovery.SnapMS <= 0 || bf.Recovery.TailRecords != 5 {
+		t.Fatalf("bench recovery record wrong: %+v", bf.Recovery)
+	}
+
+	// An unreachable gate must fail the run.
+	buf.Reset()
+	err = run([]string{"-recovery", "-recovery-records", "500", "-recovery-min-speedup", "1e12", "-benchrounds", "1"}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "below the required") {
+		t.Fatalf("speedup gate did not fire: %v", err)
+	}
+}
+
 // TestTraceGuardFlag runs the tracing-overhead guard in its cheap
 // drift-only mode (-benchrounds 0 skips the timing loops).
 func TestTraceGuardFlag(t *testing.T) {

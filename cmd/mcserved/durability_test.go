@@ -1,0 +1,239 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// startServer boots run() in-process on an ephemeral port and waits
+// for readiness.
+func startServer(t *testing.T, out io.Writer, args ...string) (string, chan error) {
+	t.Helper()
+	ready := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() { done <- run(append([]string{"-addr", "127.0.0.1:0", "-workers", "2"}, args...), out, ready) }()
+	select {
+	case addr := <-ready:
+		return fmt.Sprintf("http://%s", addr), done
+	case err := <-done:
+		t.Fatalf("server exited early: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	panic("unreachable")
+}
+
+func post(t *testing.T, url, body string) []byte {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST %s: status %d: %s", url, resp.StatusCode, data)
+	}
+	return data
+}
+
+func stopServer(t *testing.T, done chan error) {
+	t.Helper()
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+}
+
+// TestDataDirRestart: facts appended to a -data-dir server survive a
+// graceful restart — the shutdown checkpoint plus recovery hand the
+// next process the same database, warm enough that no WAL replay runs.
+func TestDataDirRestart(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	base, done := startServer(t, &out, "-data-dir", dir, "-quiet")
+	post(t, base+"/v1/facts", `{"parent": [{"from":"ann","to":"bob"}, {"from":"amy","to":"bob"}]}`)
+	post(t, base+"/v1/facts", `{"parent": [{"from":"zoe","to":"bob"}]}`)
+	stopServer(t, done)
+
+	var out2 bytes.Buffer
+	base2, done2 := startServer(t, &out2, "-data-dir", dir, "-quiet")
+	defer stopServer(t, done2)
+	if !strings.Contains(out2.String(), "recovered") || !strings.Contains(out2.String(), "generation 2") {
+		t.Fatalf("no recovery log line: %q", out2.String())
+	}
+	if !strings.Contains(out2.String(), "0 wal records replayed") {
+		t.Fatalf("graceful restart should recover from the snapshot alone: %q", out2.String())
+	}
+	var q struct {
+		Answers    []string `json:"answers"`
+		Generation uint64   `json:"generation"`
+	}
+	if err := json.Unmarshal(post(t, base2+"/v1/query", `{"source": "ann"}`), &q); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(q.Answers) != fmt.Sprint([]string{"amy", "ann", "zoe"}) || q.Generation != 2 {
+		t.Fatalf("recovered answers %v at gen %d, want [amy ann zoe] at 2", q.Answers, q.Generation)
+	}
+}
+
+// TestIncompatibleFormatRejected: a data directory written by a
+// different on-disk format version fails startup with a clear error
+// instead of misparsing the log.
+func TestIncompatibleFormatRejected(t *testing.T) {
+	dir := t.TempDir()
+	// A segment header stamped with a future format version.
+	header := append([]byte("MCWAL"), 99, 0, 0)
+	if err := os.WriteFile(filepath.Join(dir, "wal-0000000000000001.log"), header, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-addr", "127.0.0.1:0", "-data-dir", dir}, io.Discard, nil)
+	if err == nil {
+		t.Fatal("run succeeded on an incompatible data directory")
+	}
+	if !strings.Contains(err.Error(), "format version") {
+		t.Fatalf("error does not name the version mismatch: %v", err)
+	}
+
+	// An unknown -fsync spelling is rejected up front too.
+	if err := run([]string{"-fsync", "sometimes"}, io.Discard, nil); err == nil || !strings.Contains(err.Error(), "fsync") {
+		t.Fatalf("bad -fsync not rejected: %v", err)
+	}
+}
+
+// TestKillRecovery is the hard acceptance path: a real mcserved
+// process is SIGKILLed mid-serving — no shutdown hook runs — and a
+// restart on the same directory must serve the same database, because
+// every acknowledged append was fsynced ahead of the commit. This is
+// also the CI recovery-smoke entry point.
+func TestKillRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills a real server binary")
+	}
+	bin := filepath.Join(t.TempDir(), "mcserved")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("go build: %v", err)
+	}
+	dir := t.TempDir()
+
+	start := func() (*exec.Cmd, string) {
+		cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-data-dir", dir, "-fsync", "always", "-quiet")
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(stdout)
+		deadline := time.After(10 * time.Second)
+		lines := make(chan string, 16)
+		go func() {
+			for sc.Scan() {
+				lines <- sc.Text()
+			}
+			close(lines)
+		}()
+		for {
+			select {
+			case line, ok := <-lines:
+				if !ok {
+					cmd.Process.Kill()
+					t.Fatal("server exited before listening")
+				}
+				if i := strings.Index(line, "listening on "); i >= 0 {
+					go func() {
+						for range lines {
+						}
+					}()
+					return cmd, "http://" + strings.TrimSpace(line[i+len("listening on "):])
+				}
+			case <-deadline:
+				cmd.Process.Kill()
+				t.Fatal("server never became ready")
+			}
+		}
+	}
+
+	cmd, base := start()
+	post(t, base+"/v1/facts", `{"parent": [{"from":"ann","to":"bob"}, {"from":"amy","to":"bob"}]}`)
+	post(t, base+"/v1/facts", `{"parent": [{"from":"zoe","to":"bob"}, {"from":"bob","to":"cat"}]}`)
+	statsBefore := post(t, base+"/v1/query/batch", `{"sources": ["ann", "bob", "zoe"]}`)
+
+	// SIGKILL: no handler, no checkpoint, no goodbye.
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait()
+
+	cmd2, base2 := start()
+	defer func() { cmd2.Process.Kill(); cmd2.Wait() }()
+	statsAfter := post(t, base2+"/v1/query/batch", `{"sources": ["ann", "bob", "zoe"]}`)
+
+	var before, after struct {
+		Items []struct {
+			Source  string   `json:"source"`
+			Answers []string `json:"answers"`
+		} `json:"items"`
+		Generation uint64 `json:"generation"`
+	}
+	if err := json.Unmarshal(statsBefore, &before); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(statsAfter, &after); err != nil {
+		t.Fatal(err)
+	}
+	if before.Generation != after.Generation {
+		t.Fatalf("generation %d after kill, was %d", after.Generation, before.Generation)
+	}
+	for i := range before.Items {
+		if fmt.Sprint(before.Items[i].Answers) != fmt.Sprint(after.Items[i].Answers) {
+			t.Fatalf("source %s: answers %v after kill, were %v",
+				before.Items[i].Source, after.Items[i].Answers, before.Items[i].Answers)
+		}
+	}
+
+	resp, err := http.Get(base2 + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sa map[string]any
+	err = json.NewDecoder(resp.Body).Decode(&sa)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"facts_l", "facts_e", "facts_r"} {
+		if sa[key].(float64) == 0 {
+			t.Fatalf("stats after kill: %s = 0", key)
+		}
+	}
+	if sa["durable"] != true {
+		t.Fatalf("stats after kill: durable = %v", sa["durable"])
+	}
+}

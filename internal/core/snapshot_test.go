@@ -1,0 +1,84 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestCompiledEncodeDecodeRoundtrip: a decoded artifact must answer
+// every method byte-identically to the artifact it was encoded from,
+// including the retrieval meter (the CSR layout, per-node arc order,
+// and symbol tables all survive the codec).
+func TestCompiledEncodeDecodeRoundtrip(t *testing.T) {
+	instances := []Query{
+		SameGeneration([]Pair{P("a", "b"), P("a", "c"), P("b", "d"), P("c", "d"), P("d", "e")}, "a"),
+		{
+			L:      []Pair{P("a", "b"), P("b", "c"), P("c", "a"), P("b", "d")},
+			E:      []Pair{P("d", "x"), P("a", "y"), P("c", "x")},
+			R:      []Pair{P("y", "x"), P("x", "y"), P("z", "x")},
+			Source: "a",
+		},
+		{Source: "ghost"}, // empty relations, virtual source
+	}
+	for qi, q := range instances {
+		orig := Compile(q.L, q.E, q.R)
+		orig.Generation = uint64(qi + 7)
+		buf := orig.AppendBinary(nil)
+		dec, rest, err := DecodeCompiled(append(buf, 0xAA, 0xBB)) // trailing bytes must survive
+		if err != nil {
+			t.Fatalf("instance %d: decode: %v", qi, err)
+		}
+		if !bytes.Equal(rest, []byte{0xAA, 0xBB}) {
+			t.Fatalf("instance %d: rest = %v", qi, rest)
+		}
+		if dec.Generation != orig.Generation {
+			t.Fatalf("instance %d: generation %d, want %d", qi, dec.Generation, orig.Generation)
+		}
+		if dec.NumL() != orig.NumL() || dec.NumR() != orig.NumR() {
+			t.Fatalf("instance %d: domains (%d,%d), want (%d,%d)", qi, dec.NumL(), dec.NumR(), orig.NumL(), orig.NumR())
+		}
+		for _, s := range []Strategy{Basic, Single, Multiple, Recurring} {
+			for _, m := range []Mode{Independent, Integrated} {
+				want, err1 := orig.Solve(q.Source, s, m, Options{})
+				got, err2 := dec.Solve(q.Source, s, m, Options{})
+				if (err1 == nil) != (err2 == nil) {
+					t.Fatalf("instance %d %v/%v: errors diverge: %v vs %v", qi, s, m, err1, err2)
+				}
+				if err1 != nil {
+					continue
+				}
+				if len(want.Answers) != len(got.Answers) {
+					t.Fatalf("instance %d %v/%v: %d answers, want %d", qi, s, m, len(got.Answers), len(want.Answers))
+				}
+				for i := range want.Answers {
+					if want.Answers[i] != got.Answers[i] {
+						t.Fatalf("instance %d %v/%v: answer[%d] = %q, want %q", qi, s, m, i, got.Answers[i], want.Answers[i])
+					}
+				}
+				if want.Stats != got.Stats {
+					t.Fatalf("instance %d %v/%v: stats %+v, want %+v", qi, s, m, got.Stats, want.Stats)
+				}
+			}
+		}
+		// Auto-selection consults the rebuilt magic graph: same choice.
+		ws := orig.ChooseMethod(q.Source)
+		gs := dec.ChooseMethod(q.Source)
+		if ws.Strategy != gs.Strategy || ws.Mode != gs.Mode || ws.Regime != gs.Regime {
+			t.Fatalf("instance %d: ChooseMethod diverged: %+v vs %+v", qi, gs, ws)
+		}
+	}
+}
+
+// TestDecodeCompiledRejectsCorrupt: truncations and out-of-domain arc
+// ids must fail cleanly, never panic downstream.
+func TestDecodeCompiledRejectsCorrupt(t *testing.T) {
+	q := SameGeneration([]Pair{P("a", "b"), P("b", "c")}, "a")
+	buf := Compile(q.L, q.E, q.R).AppendBinary(nil)
+	for cut := 0; cut < len(buf); cut += 3 {
+		if _, _, err := DecodeCompiled(buf[:cut]); err == nil {
+			// A prefix may happen to parse only if it is the full
+			// payload; any strict prefix that decodes is a bug.
+			t.Fatalf("truncation at %d of %d decoded without error", cut, len(buf))
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package durable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"magiccounting/internal/core"
+)
+
+// Record is one committed fact batch: the deduplicated pairs one
+// AppendFacts commit added, tagged with the generation the commit
+// produced. Records are written ahead of the in-memory commit and are
+// duplicate-free by construction (the writer dedupes against its
+// membership sets before logging), so replay concatenates deltas
+// without re-deduplication.
+type Record struct {
+	Gen     uint64
+	L, E, R []core.Pair
+}
+
+// Facts counts the pairs in the record.
+func (r Record) Facts() int { return len(r.L) + len(r.E) + len(r.R) }
+
+// encodeRecordPayload serializes a record:
+//
+//	uvarint gen | relation L | relation E | relation R
+//	relation   = uvarint count | count × pair
+//	pair       = uvarint len(from) | from | uvarint len(to) | to
+func encodeRecordPayload(rec Record) []byte {
+	n := 16
+	for _, rel := range [][]core.Pair{rec.L, rec.E, rec.R} {
+		n += 8
+		for _, p := range rel {
+			n += len(p.From) + len(p.To) + 8
+		}
+	}
+	buf := make([]byte, 0, n)
+	buf = binary.AppendUvarint(buf, rec.Gen)
+	for _, rel := range [][]core.Pair{rec.L, rec.E, rec.R} {
+		buf = binary.AppendUvarint(buf, uint64(len(rel)))
+		for _, p := range rel {
+			buf = binary.AppendUvarint(buf, uint64(len(p.From)))
+			buf = append(buf, p.From...)
+			buf = binary.AppendUvarint(buf, uint64(len(p.To)))
+			buf = append(buf, p.To...)
+		}
+	}
+	return buf
+}
+
+// decodeRecordPayload parses one record payload. The whole payload
+// must be consumed: trailing bytes mean the CRC protected a frame the
+// encoder never wrote.
+func decodeRecordPayload(data []byte) (Record, error) {
+	r := payloadReader{data: data}
+	rec := Record{Gen: r.uvarint()}
+	for _, dst := range []*[]core.Pair{&rec.L, &rec.E, &rec.R} {
+		n := r.uvarint()
+		if r.err != nil {
+			break
+		}
+		if n > uint64(len(data)) {
+			r.err = errors.New("relation count exceeds payload")
+			break
+		}
+		pairs := make([]core.Pair, 0, n)
+		for i := uint64(0); i < n && r.err == nil; i++ {
+			from := r.str()
+			to := r.str()
+			pairs = append(pairs, core.Pair{From: from, To: to})
+		}
+		*dst = pairs
+	}
+	if r.err != nil {
+		return Record{}, fmt.Errorf("%w: record payload: %v", ErrCorrupt, r.err)
+	}
+	if r.off != len(data) {
+		return Record{}, fmt.Errorf("%w: %d trailing bytes in record payload", ErrCorrupt, len(data)-r.off)
+	}
+	return rec, nil
+}
+
+// payloadReader is the package's error-latching byte cursor.
+type payloadReader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (r *payloadReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data[r.off:])
+	if n <= 0 {
+		r.err = errors.New("truncated uvarint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *payloadReader) str() string {
+	l := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if l > uint64(len(r.data)-r.off) {
+		r.err = errors.New("truncated string")
+		return ""
+	}
+	s := string(r.data[r.off : r.off+int(l)])
+	r.off += int(l)
+	return s
+}

@@ -1,0 +1,254 @@
+package durable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"magiccounting/internal/core"
+)
+
+// Snapshot is one point-in-time image of the database: the raw fact
+// slices, the generation they correspond to, and (optionally) the
+// compiled CSR artifact for that generation so recovery skips the
+// map-heavy Compile.
+type Snapshot struct {
+	Gen     uint64
+	L, E, R []core.Pair
+	// Compiled is the artifact for generation Gen; nil is valid (the
+	// loader then leaves compilation to the first query).
+	Compiled *core.Compiled
+	// compiledRaw holds the still-encoded artifact of a decoded
+	// snapshot. Materializing it costs real work, and recovery drops
+	// the artifact whenever a WAL tail is replayed past the snapshot —
+	// so the payload decoder defers it and Open calls decodeArtifact
+	// only when the artifact will actually be used.
+	compiledRaw []byte
+}
+
+// decodeArtifact materializes the deferred compiled artifact, if any.
+// The bytes sit behind the snapshot frame's CRC, so a failure here is
+// an encoding incompatibility, not silent disk rot.
+func (s *Snapshot) decodeArtifact() error {
+	if s.compiledRaw == nil {
+		return nil
+	}
+	c, tail, err := core.DecodeCompiled(s.compiledRaw)
+	if err != nil {
+		return fmt.Errorf("%w: snapshot artifact: %v", ErrCorrupt, err)
+	}
+	if len(tail) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes after snapshot artifact", ErrCorrupt, len(tail))
+	}
+	s.Compiled, s.compiledRaw = c, nil
+	return nil
+}
+
+func snapshotName(gen uint64) string { return fmt.Sprintf("snap-%016x.snap", gen) }
+
+func parseSnapshotGen(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "snap-") || !strings.HasSuffix(name, ".snap") {
+		return 0, false
+	}
+	gen, err := strconv.ParseUint(name[len("snap-"):len(name)-len(".snap")], 16, 64)
+	return gen, err == nil
+}
+
+// encodeSnapshotPayload serializes a snapshot. Facts are interned:
+// one table of every distinct constant, then each relation as pairs
+// of table indexes. Decoding therefore allocates one string per
+// distinct constant instead of two per fact — the difference between
+// replaying a long log and loading its snapshot.
+//
+//	uvarint gen
+//	uvarint |names| | names (uvarint len | bytes)
+//	3 × relation: uvarint count | count × (uvarint fromIdx | uvarint toIdx)
+//	1 byte hasCompiled | [compiled artifact (core codec)]
+func encodeSnapshotPayload(snap Snapshot) []byte {
+	idx := make(map[string]uint64)
+	var names []string
+	intern := func(s string) uint64 {
+		if i, ok := idx[s]; ok {
+			return i
+		}
+		i := uint64(len(names))
+		idx[s] = i
+		names = append(names, s)
+		return i
+	}
+	rels := [][]core.Pair{snap.L, snap.E, snap.R}
+	for _, rel := range rels {
+		for _, p := range rel {
+			intern(p.From)
+			intern(p.To)
+		}
+	}
+	buf := make([]byte, 0, 1024)
+	buf = binary.AppendUvarint(buf, snap.Gen)
+	buf = binary.AppendUvarint(buf, uint64(len(names)))
+	for _, s := range names {
+		buf = binary.AppendUvarint(buf, uint64(len(s)))
+		buf = append(buf, s...)
+	}
+	for _, rel := range rels {
+		buf = binary.AppendUvarint(buf, uint64(len(rel)))
+		for _, p := range rel {
+			buf = binary.AppendUvarint(buf, idx[p.From])
+			buf = binary.AppendUvarint(buf, idx[p.To])
+		}
+	}
+	if snap.Compiled != nil {
+		buf = append(buf, 1)
+		buf = snap.Compiled.AppendBinary(buf)
+	} else {
+		buf = append(buf, 0)
+	}
+	return buf
+}
+
+func decodeSnapshotPayload(data []byte) (*Snapshot, error) {
+	r := payloadReader{data: data}
+	snap := &Snapshot{Gen: r.uvarint()}
+	nNames := r.uvarint()
+	if r.err != nil || nNames > uint64(len(data)) {
+		return nil, fmt.Errorf("%w: snapshot name table", ErrCorrupt)
+	}
+	names := make([]string, 0, nNames)
+	for i := uint64(0); i < nNames && r.err == nil; i++ {
+		names = append(names, r.str())
+	}
+	for _, dst := range []*[]core.Pair{&snap.L, &snap.E, &snap.R} {
+		n := r.uvarint()
+		if r.err != nil || n > uint64(len(data)) {
+			return nil, fmt.Errorf("%w: snapshot relation count", ErrCorrupt)
+		}
+		pairs := make([]core.Pair, 0, n)
+		for i := uint64(0); i < n && r.err == nil; i++ {
+			fi, ti := r.uvarint(), r.uvarint()
+			if fi >= uint64(len(names)) || ti >= uint64(len(names)) {
+				return nil, fmt.Errorf("%w: snapshot fact references name %d of %d", ErrCorrupt, max(fi, ti), len(names))
+			}
+			pairs = append(pairs, core.Pair{From: names[fi], To: names[ti]})
+		}
+		*dst = pairs
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("%w: snapshot payload: %v", ErrCorrupt, r.err)
+	}
+	if r.off >= len(data) {
+		return nil, fmt.Errorf("%w: snapshot missing artifact flag", ErrCorrupt)
+	}
+	hasCompiled := data[r.off] == 1
+	rest := data[r.off+1:]
+	if hasCompiled {
+		if len(rest) == 0 {
+			return nil, fmt.Errorf("%w: snapshot artifact flag set but artifact missing", ErrCorrupt)
+		}
+		snap.compiledRaw = rest
+	} else if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes in snapshot", ErrCorrupt, len(rest))
+	}
+	return snap, nil
+}
+
+// writeSnapshotFile writes the snapshot atomically: temp file, fsync,
+// rename, directory fsync. A crash mid-write leaves at most a stale
+// .tmp that the next load ignores.
+func writeSnapshotFile(dir string, snap Snapshot) error {
+	payload := encodeSnapshotPayload(snap)
+	frame := make([]byte, 0, headerLen+12+len(payload))
+	frame = append(frame, fileHeader(snapMagic)...)
+	frame = binary.LittleEndian.AppendUint32(frame, crc32.ChecksumIEEE(payload))
+	frame = binary.LittleEndian.AppendUint64(frame, uint64(len(payload)))
+	frame = append(frame, payload...)
+
+	tmp := filepath.Join(dir, snapshotName(snap.Gen)+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(frame); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, snapshotName(snap.Gen))); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	syncDir(dir)
+	return nil
+}
+
+// loadSnapshotFile reads and validates one snapshot file.
+func loadSnapshotFile(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkHeader(data, snapMagic, path); err != nil {
+		return nil, err
+	}
+	body := data[headerLen:]
+	if len(body) < 12 {
+		return nil, fmt.Errorf("%w: %s: short snapshot frame", ErrCorrupt, path)
+	}
+	crc := binary.LittleEndian.Uint32(body[0:4])
+	plen := binary.LittleEndian.Uint64(body[4:12])
+	payload := body[12:]
+	if plen != uint64(len(payload)) {
+		return nil, fmt.Errorf("%w: %s: payload length %d, frame says %d (torn write)", ErrCorrupt, path, len(payload), plen)
+	}
+	if crc32.ChecksumIEEE(payload) != crc {
+		return nil, fmt.Errorf("%w: %s: snapshot checksum mismatch", ErrCorrupt, path)
+	}
+	return decodeSnapshotPayload(payload)
+}
+
+// loadNewestSnapshot finds the newest snapshot that validates,
+// skipping corrupt or torn ones (an older valid snapshot plus a
+// longer replay still recovers). A version mismatch is not skipped:
+// the whole directory belongs to another format, and silently
+// ignoring it would replay a WAL written by that format too.
+func loadNewestSnapshot(dir string) (*Snapshot, []string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var gens []uint64
+	for _, e := range entries {
+		if gen, ok := parseSnapshotGen(e.Name()); ok {
+			gens = append(gens, gen)
+		}
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] > gens[j] })
+	var skipped []string
+	for _, gen := range gens {
+		path := filepath.Join(dir, snapshotName(gen))
+		snap, err := loadSnapshotFile(path)
+		if err != nil {
+			if errors.Is(err, ErrIncompatibleVersion) {
+				return nil, nil, err
+			}
+			skipped = append(skipped, fmt.Sprintf("%s: %v", filepath.Base(path), err))
+			continue
+		}
+		return snap, skipped, nil
+	}
+	return nil, skipped, nil
+}

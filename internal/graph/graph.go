@@ -26,6 +26,42 @@ func NewDigraph(n int) *Digraph {
 	return g
 }
 
+// FromAdjacency builds a graph directly from per-node successor
+// lists, which must already be duplicate-free with every id in
+// [0, len(out)). It takes ownership of out (rows must not grow past
+// their capacity afterwards) and builds the reverse adjacency in two
+// counting passes over one backing array — no per-arc map work and no
+// per-node allocations, which is what makes decoding a persisted
+// compiled artifact cheap. The arc-dedupe index is built lazily by
+// the first AddArc instead of here; until then HasArc scans the row.
+func FromAdjacency(out [][]int32) *Digraph {
+	n := len(out)
+	g := &Digraph{out: out, in: make([][]int32, n)}
+	start := make([]int32, n+1)
+	for _, row := range out {
+		g.m += len(row)
+		for _, v := range row {
+			start[v+1]++
+		}
+	}
+	for v := 0; v < n; v++ {
+		start[v+1] += start[v]
+	}
+	back := make([]int32, g.m)
+	pos := make([]int32, n)
+	copy(pos, start[:n])
+	for u, row := range out {
+		for _, v := range row {
+			back[pos[v]] = int32(u)
+			pos[v]++
+		}
+	}
+	for v := 0; v < n; v++ {
+		g.in[v] = back[start[v]:start[v+1]:start[v+1]]
+	}
+	return g
+}
+
 // N returns the number of nodes.
 func (g *Digraph) N() int { return len(g.out) }
 
@@ -52,6 +88,16 @@ func (g *Digraph) AddArc(u, v int) {
 	if u < 0 || u >= len(g.out) || v < 0 || v >= len(g.out) {
 		panic(fmt.Sprintf("graph: arc (%d,%d) out of range, n=%d", u, v, len(g.out)))
 	}
+	if g.seen == nil {
+		// A FromAdjacency graph deferred its dedupe index; pay for it
+		// on the first mutation.
+		g.seen = make(map[int64]struct{}, g.m)
+		for u2, row := range g.out {
+			for _, v2 := range row {
+				g.seen[int64(u2)<<32|int64(uint32(v2))] = struct{}{}
+			}
+		}
+	}
 	key := int64(u)<<32 | int64(uint32(v))
 	if _, dup := g.seen[key]; dup {
 		return
@@ -64,6 +110,14 @@ func (g *Digraph) AddArc(u, v int) {
 
 // HasArc reports whether u -> v is present.
 func (g *Digraph) HasArc(u, v int) bool {
+	if g.seen == nil {
+		for _, w := range g.out[u] {
+			if w == int32(v) {
+				return true
+			}
+		}
+		return false
+	}
 	key := int64(u)<<32 | int64(uint32(v))
 	_, ok := g.seen[key]
 	return ok

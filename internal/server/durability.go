@@ -1,0 +1,137 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"magiccounting/internal/durable"
+	"magiccounting/internal/obs"
+)
+
+// Open attaches a durable store at dir to an empty Service: the newest
+// valid snapshot is loaded, the WAL tail replayed, and every
+// subsequent AppendFacts is write-ahead logged per the configured
+// fsync policy. Must run before the service takes traffic (the hot
+// path reads s.dur without a lock on that basis). The whole recovery
+// runs under a "recover" span (see RecoverySpan) whose
+// "load-snapshot" and "replay" children carry sizes and durations.
+//
+// A directory written by an incompatible format version fails with
+// durable.ErrIncompatibleVersion rather than misparsing.
+func (s *Service) Open(dir string) (*durable.RecoveryInfo, error) {
+	if s.dur != nil {
+		return nil, errors.New("server: durable store already open")
+	}
+	s.mu.RLock()
+	empty := s.generation == 0 && len(s.l)+len(s.e)+len(s.r) == 0
+	s.mu.RUnlock()
+	if !empty {
+		return nil, errors.New("server: Open requires an empty service (facts already appended)")
+	}
+	opts := durable.Options{
+		Fsync:         s.cfg.Fsync,
+		FsyncInterval: s.cfg.FsyncInterval,
+		SegmentBytes:  s.cfg.WALSegmentBytes,
+		OnFsync:       func(d time.Duration) { s.fsyncHist.observe(d.Seconds()) },
+	}
+	tr := obs.New("recover", 0)
+	st, info, err := durable.Open(dir, opts, tr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.dur = st
+	s.l, s.e, s.r = info.L, info.E, info.R
+	s.generation = info.Generation
+	// The snapshot's artifact is current only when no tail was
+	// replayed past it (durable.Open already nils it otherwise); with
+	// it in place the first query skips the compile entirely.
+	s.compiled = info.Compiled
+	// Drop the empty sets New built: the first append rebuilds them
+	// from the recovered slices (see ensureSets).
+	s.lSet, s.eSet, s.rSet = nil, nil, nil
+	s.mu.Unlock()
+	s.recoveryReplayed.Store(int64(info.ReplayedRecords))
+	s.recoverSpan = tr.Finish(0)
+	return info, nil
+}
+
+// RecoverySpan returns the finished "recover" span tree from Open
+// (nil on a memory-only service). Immutable once Open returns.
+func (s *Service) RecoverySpan() *obs.Span { return s.recoverSpan }
+
+// Checkpoint writes a snapshot of the current generation and
+// garbage-collects the WAL behind it. Safe to call at any time on a
+// durable service (concurrent checkpoints serialize; a generation
+// already snapshotted is a no-op) and a no-op on a memory-only one.
+//
+// The ordering makes the snapshot self-consistently recoverable under
+// concurrent appends: the WAL is rotated first, so every record of
+// the soon-to-be-covered generations lives in a sealed segment below
+// the returned floor; the database view is captured after, so its
+// generation is at least that of any such record; and commits that
+// land mid-checkpoint are in the new segment, above the floor, where
+// recovery replays them on top of this snapshot.
+func (s *Service) Checkpoint() error {
+	if s.dur == nil {
+		return nil
+	}
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+
+	s.mu.RLock()
+	gen := s.generation
+	s.mu.RUnlock()
+	if last, ok := s.dur.LastSnapshotGeneration(); ok && last == gen {
+		return nil // nothing committed since the last snapshot
+	}
+
+	floor, err := s.dur.Rotate()
+	if err != nil {
+		return err
+	}
+	s.mu.RLock()
+	l, e, r := s.l, s.e, s.r
+	gen = s.generation
+	comp := s.compiled
+	s.mu.RUnlock()
+	// Snapshot the compiled artifact too (building it if no query has
+	// yet): recovery then starts warm, and the build is shared with
+	// the serving path via the usual publish.
+	comp = s.compiledFor(comp, gen, l, e, r, nil)
+	start := time.Now()
+	err = s.dur.WriteSnapshot(durable.Snapshot{Gen: gen, L: l, E: e, R: r, Compiled: comp}, floor)
+	s.snapHist.observe(time.Since(start).Seconds())
+	if err != nil {
+		return fmt.Errorf("server: snapshot: %w", err)
+	}
+	s.snapshots.Add(1)
+	s.sinceSnap.Store(0)
+	return nil
+}
+
+// maybeSnapshot runs the automatic-snapshot policy after a commit of
+// added facts: once SnapshotEvery facts have accumulated since the
+// last snapshot, one background Checkpoint is kicked off (never more
+// than one at a time — a slow snapshot must not pile up goroutines).
+func (s *Service) maybeSnapshot(added int) {
+	if s.dur == nil || s.cfg.SnapshotEvery <= 0 {
+		return
+	}
+	if s.sinceSnap.Add(int64(added)) < int64(s.cfg.SnapshotEvery) {
+		return
+	}
+	if !s.snapshotting.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer s.snapshotting.Store(false)
+		if s.closed.Load() {
+			return // shutdown owns the final checkpoint
+		}
+		if err := s.Checkpoint(); err != nil {
+			s.snapFailures.Add(1)
+		}
+	}()
+}

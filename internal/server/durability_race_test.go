@@ -1,0 +1,120 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"magiccounting/internal/core"
+	"magiccounting/internal/durable"
+)
+
+// TestConcurrentAppendCheckpointQuery hammers a durable service with
+// concurrent appenders, an explicit checkpointer, and queriers (with
+// the automatic snapshot trigger also firing), under -race in CI. It
+// asserts the two durability invariants concurrency could break: the
+// generation a query reports never regresses, and the state that
+// survives a subsequent close/reopen is exactly the committed state.
+func TestConcurrentAppendCheckpointQuery(t *testing.T) {
+	dir := t.TempDir()
+	svc := New(Config{
+		Workers: 4,
+		// FsyncNever keeps the test fast; crash safety is the recovery
+		// matrix's concern, this test is about interleavings.
+		Fsync:         durable.FsyncNever,
+		SnapshotEvery: 40,
+	})
+	if _, err := svc.Open(dir); err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+
+	const (
+		appenders  = 2
+		batchesPer = 40
+		queriers   = 3
+	)
+	var wg sync.WaitGroup
+	errc := make(chan error, appenders+queriers+1)
+
+	// Appenders: disjoint chains, so every batch commits something.
+	for a := 0; a < appenders; a++ {
+		wg.Add(1)
+		go func(a int) {
+			defer wg.Done()
+			for i := 0; i < batchesPer; i++ {
+				node := func(j int) string { return fmt.Sprintf("a%d_n%d", a, j) }
+				req := FactsRequest{
+					L: []core.Pair{{From: node(i), To: node(i + 1)}},
+					E: []core.Pair{{From: node(i), To: node(i)}},
+					R: []core.Pair{{From: node(i), To: node(i + 1)}},
+				}
+				if _, err := svc.AppendFacts(req); err != nil {
+					errc <- fmt.Errorf("appender %d: %w", a, err)
+					return
+				}
+			}
+		}(a)
+	}
+
+	// Checkpointer: explicit snapshots racing the automatic ones.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 25; i++ {
+			if err := svc.Checkpoint(); err != nil {
+				errc <- fmt.Errorf("checkpoint: %w", err)
+				return
+			}
+		}
+	}()
+
+	// Queriers: per-goroutine generation monotonicity.
+	for qi := 0; qi < queriers; qi++ {
+		wg.Add(1)
+		go func(qi int) {
+			defer wg.Done()
+			var lastGen uint64
+			src := fmt.Sprintf("a%d_n0", qi%appenders)
+			for i := 0; i < 60; i++ {
+				resp, err := svc.Query(context.Background(), QueryRequest{Source: src})
+				if err != nil {
+					errc <- fmt.Errorf("querier %d: %w", qi, err)
+					return
+				}
+				if resp.Generation < lastGen {
+					errc <- fmt.Errorf("querier %d: generation regressed %d -> %d", qi, lastGen, resp.Generation)
+					return
+				}
+				lastGen = resp.Generation
+			}
+		}(qi)
+	}
+
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	wantGen := svc.Stats().Generation
+	wantL, wantE, wantR := svc.Stats().FactsL, svc.Stats().FactsE, svc.Stats().FactsR
+	if err := svc.Close(context.Background()); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	re := New(Config{Workers: 2})
+	info, err := re.Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer re.Close(context.Background())
+	st := re.Stats()
+	if st.Generation != wantGen || st.FactsL != wantL || st.FactsE != wantE || st.FactsR != wantR {
+		t.Fatalf("reopened state gen=%d L/E/R=%d/%d/%d, want gen=%d %d/%d/%d (replayed %d)",
+			st.Generation, st.FactsL, st.FactsE, st.FactsR, wantGen, wantL, wantE, wantR, info.ReplayedRecords)
+	}
+	if info.ReplayedRecords != 0 {
+		t.Fatalf("clean close still replayed %d records (final checkpoint missing)", info.ReplayedRecords)
+	}
+}

@@ -138,6 +138,16 @@ var latencyBuckets = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 
 // budget). Cache hits observe 0 and land below the first bound.
 var retrievalBuckets = []float64{10, 100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000}
 
+// fsyncBuckets are the mc_wal_fsync_seconds bucket bounds: from the
+// ~100µs of a battery-backed write cache through the ~10ms of a
+// spinning disk to a 1s ceiling that only a saturated device hits.
+var fsyncBuckets = []float64{0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 1}
+
+// snapshotBuckets are the mc_snapshot_seconds bucket bounds: a
+// snapshot serializes the whole database, so the range runs from
+// milliseconds (small instances) to a 60s ceiling.
+var snapshotBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60}
+
 // labeledCounters is a fixed-key family of counters: the key space is
 // closed (the eight strategy/mode combinations, the three regimes),
 // so the map is built once and increments are lock-free.
@@ -198,6 +208,10 @@ func (s *Service) WriteMetrics(w io.Writer) error {
 		{"mc_facts_l", "Facts in the L relation.", st.FactsL},
 		{"mc_facts_e", "Facts in the E relation.", st.FactsE},
 		{"mc_facts_r", "Facts in the R relation.", st.FactsR},
+		{"mc_wal_appends_total", "Fact batches write-ahead logged.", st.WALAppends},
+		{"mc_snapshots_total", "Snapshots written (checkpoints).", st.Snapshots},
+		{"mc_snapshot_failures_total", "Background checkpoints that failed.", st.SnapshotFailures},
+		{"mc_recovery_replayed_records", "WAL records replayed by the last recovery.", st.RecoveryReplayedRecords},
 	}
 	for _, c := range counters {
 		kind := "gauge"
@@ -253,7 +267,13 @@ func (s *Service) WriteMetrics(w io.Writer) error {
 	if err := s.latHist.write(w, "mc_query_duration_seconds", "Query latency histogram."); err != nil {
 		return err
 	}
-	return s.retHist.write(w, "mc_query_retrievals", "Tuple retrievals charged per query (0 on cache hits).")
+	if err := s.retHist.write(w, "mc_query_retrievals", "Tuple retrievals charged per query (0 on cache hits)."); err != nil {
+		return err
+	}
+	if err := s.fsyncHist.write(w, "mc_wal_fsync_seconds", "WAL fsync duration."); err != nil {
+		return err
+	}
+	return s.snapHist.write(w, "mc_snapshot_seconds", "Snapshot write duration.")
 }
 
 // methodKey builds the byMethod key, and cutMethodKey splits it back

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"magiccounting/internal/core"
+	"magiccounting/internal/durable"
 	"magiccounting/internal/obs"
 )
 
@@ -48,6 +49,16 @@ type Config struct {
 	// LatencyWindow is the latency ring-buffer size behind the p50/p99
 	// metrics. Zero selects 1024.
 	LatencyWindow int
+	// Fsync, FsyncInterval, and WALSegmentBytes tune the durable store
+	// opened by Open (see durable.Options); they have no effect on a
+	// memory-only service. The zero Fsync is durable.FsyncAlways.
+	Fsync           durable.FsyncPolicy
+	FsyncInterval   time.Duration
+	WALSegmentBytes int64
+	// SnapshotEvery triggers a background Checkpoint once that many
+	// facts have been appended since the last snapshot. Zero disables
+	// automatic snapshots (Close still writes a final one).
+	SnapshotEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -97,11 +108,20 @@ type Service struct {
 	cfg Config
 	sem chan struct{} // worker-pool slots
 
+	// appendMu serializes fact commits end to end — dedupe, the
+	// write-ahead log append, and the published generation bump — so
+	// record generations are assigned gaplessly and the WAL order
+	// matches the commit order. Queries never touch it.
+	appendMu sync.Mutex
+
 	mu      sync.RWMutex // guards the fact slices, generation, cache
 	l, e, r []core.Pair
 	// Membership sets mirror the slices so appends dedupe in O(1):
 	// relations are sets, and re-POSTing facts already present must
-	// not invalidate the result cache.
+	// not invalidate the result cache. They belong to the appender
+	// (guarded by appendMu, not mu — queries never read them), and are
+	// nil after Open until the first append materializes them: recovery
+	// of a large database should not pay for maps it may never need.
 	lSet, eSet, rSet map[core.Pair]bool
 	generation       uint64
 	cache            map[cacheKey]*cacheEntry
@@ -113,6 +133,23 @@ type Service struct {
 	// cache keys and the sweep position. Both are guarded by mu.
 	clock []cacheKey
 	hand  int
+
+	// dur is the durable store behind Open; nil on a memory-only
+	// service. Immutable once set (Open runs before serving), so the
+	// hot path reads it without a lock. ckptMu serializes checkpoints;
+	// the remaining fields drive the snapshot trigger and durability
+	// metrics (see durability.go and metrics.go).
+	dur              *durable.Store
+	ckptMu           sync.Mutex
+	sinceSnap        atomic.Int64
+	snapshotting     atomic.Bool
+	walAppends       atomic.Int64
+	snapshots        atomic.Int64
+	snapFailures     atomic.Int64
+	recoveryReplayed atomic.Int64
+	recoverSpan      *obs.Span
+	fsyncHist        *histogram
+	snapHist         *histogram
 
 	start time.Time
 	lat   *latencyRing
@@ -151,9 +188,11 @@ func New(cfg Config) *Service {
 		rSet:    make(map[core.Pair]bool),
 		cache:   make(map[cacheKey]*cacheEntry),
 		start:   time.Now(),
-		lat:     newLatencyRing(cfg.LatencyWindow),
-		latHist: newHistogram(latencyBuckets...),
-		retHist: newHistogram(retrievalBuckets...),
+		lat:       newLatencyRing(cfg.LatencyWindow),
+		latHist:   newHistogram(latencyBuckets...),
+		retHist:   newHistogram(retrievalBuckets...),
+		fsyncHist: newHistogram(fsyncBuckets...),
+		snapHist:  newHistogram(snapshotBuckets...),
 		byMethod: newLabeledCounters(
 			methodKey("basic", "independent"), methodKey("basic", "integrated"),
 			methodKey("single", "independent"), methodKey("single", "integrated"),
@@ -768,6 +807,17 @@ type FactsResponse struct {
 // deduplication against the database and within the request. The fact
 // slices are replaced copy-on-write, so queries already holding the
 // previous snapshot keep evaluating an immutable database.
+//
+// The commit is staged so queries stall as little as possible: the
+// dedupe (the O(request) part) runs against the appender-owned
+// membership sets with no query-visible lock held; on a durable
+// service the deduplicated delta is then logged — and, under
+// FsyncAlways, fsynced — before anything becomes visible (the
+// write-ahead contract: an acknowledged append survives a crash, and
+// a logged-but-unacknowledged one is at worst replayed as the exact
+// committed delta); only the final publish of the new slices and
+// generation takes the write lock, for a few pointer swaps and the
+// cache purge.
 func (s *Service) AppendFacts(req FactsRequest) (*FactsResponse, error) {
 	for _, set := range [][]core.Pair{req.L, req.E, req.R, req.Parent} {
 		for _, p := range set {
@@ -775,6 +825,9 @@ func (s *Service) AppendFacts(req FactsRequest) (*FactsResponse, error) {
 				return nil, fmt.Errorf("%w: pair with empty endpoint %+v", ErrBadRequest, p)
 			}
 		}
+	}
+	if s.closed.Load() {
+		return nil, ErrClosed
 	}
 	addL := append([]core.Pair(nil), req.L...)
 	addE := append([]core.Pair(nil), req.E...)
@@ -785,17 +838,32 @@ func (s *Service) AppendFacts(req FactsRequest) (*FactsResponse, error) {
 		addE = append(addE, core.Pair{From: p.From, To: p.From}, core.Pair{From: p.To, To: p.To})
 	}
 	s.factAppends.Add(1)
-	s.mu.Lock()
-	defer s.mu.Unlock()
+
+	s.appendMu.Lock()
+	defer s.appendMu.Unlock()
+	s.ensureSets()
 	addL = dedupePending(s.lSet, addL)
 	addE = dedupePending(s.eSet, addE)
 	addR = dedupePending(s.rSet, addR)
-	if len(addL)+len(addE)+len(addR) == 0 {
-		return &FactsResponse{Generation: s.generation}, nil
+	added := len(addL) + len(addE) + len(addR)
+	s.mu.RLock()
+	gen := s.generation
+	s.mu.RUnlock()
+	if added == 0 {
+		return &FactsResponse{Generation: gen}, nil
 	}
-	s.l = appendCOW(s.l, addL)
-	s.e = appendCOW(s.e, addE)
-	s.r = appendCOW(s.r, addR)
+
+	// Write-ahead: appendMu guarantees gen is still current, so the
+	// record carries the generation this commit will produce, and the
+	// delta is duplicate-free by the dedupe above — replay concatenates
+	// records without re-deduplication.
+	if s.dur != nil {
+		if err := s.dur.Append(durable.Record{Gen: gen + 1, L: addL, E: addE, R: addR}); err != nil {
+			return nil, fmt.Errorf("server: wal append: %w", err)
+		}
+		s.walAppends.Add(1)
+	}
+
 	for _, p := range addL {
 		s.lSet[p] = true
 	}
@@ -805,7 +873,12 @@ func (s *Service) AppendFacts(req FactsRequest) (*FactsResponse, error) {
 	for _, p := range addR {
 		s.rSet[p] = true
 	}
+	s.mu.Lock()
+	s.l = appendCOW(s.l, addL)
+	s.e = appendCOW(s.e, addE)
+	s.r = appendCOW(s.r, addR)
 	s.generation++
+	gen = s.generation
 	// The compiled artifact describes the old generation; drop it so
 	// the next miss rebuilds from the new slices.
 	s.compiled = nil
@@ -815,7 +888,7 @@ func (s *Service) AppendFacts(req FactsRequest) (*FactsResponse, error) {
 	// crowding out live results until eviction stumbled on them. This
 	// keeps the invariant that every cached entry is live.
 	for k, e := range s.cache {
-		if e.generation != s.generation {
+		if e.generation != gen {
 			delete(s.cache, k)
 		}
 	}
@@ -826,12 +899,36 @@ func (s *Service) AppendFacts(req FactsRequest) (*FactsResponse, error) {
 		s.clock = append(s.clock, k)
 	}
 	s.hand = 0
+	s.mu.Unlock()
+
+	s.maybeSnapshot(added)
 	return &FactsResponse{
-		Generation: s.generation,
+		Generation: gen,
 		AddedL:     len(addL),
 		AddedE:     len(addE),
 		AddedR:     len(addR),
 	}, nil
+}
+
+// ensureSets materializes the membership sets from the fact slices on
+// the first append after recovery. Caller holds appendMu (the sets
+// are appender-owned state).
+func (s *Service) ensureSets() {
+	if s.lSet != nil {
+		return
+	}
+	s.mu.RLock()
+	l, e, r := s.l, s.e, s.r
+	s.mu.RUnlock()
+	sets := make([]map[core.Pair]bool, 3)
+	for i, rel := range [][]core.Pair{l, e, r} {
+		set := make(map[core.Pair]bool, len(rel))
+		for _, p := range rel {
+			set[p] = true
+		}
+		sets[i] = set
+	}
+	s.lSet, s.eSet, s.rSet = sets[0], sets[1], sets[2]
 }
 
 // dedupePending filters add down to the pairs not in present, also
@@ -890,14 +987,49 @@ type Stats struct {
 	InFlight        int     `json:"in_flight"`
 	LatencyP50MS    float64 `json:"latency_p50_ms"`
 	LatencyP99MS    float64 `json:"latency_p99_ms"`
+	// Durable reports whether a durable store is open; the remaining
+	// fields are zero on a memory-only service.
+	Durable                 bool  `json:"durable"`
+	WALAppends              int64 `json:"wal_appends"`
+	Snapshots               int64 `json:"snapshots"`
+	SnapshotFailures        int64 `json:"snapshot_failures"`
+	RecoveryReplayedRecords int64 `json:"recovery_replayed_records"`
 }
 
 // Close marks the service closed and drains the worker pool: new
-// queries fail fast with ErrClosed, and Close returns once every
-// in-flight solve has released its slot (or ctx expires). The drained
-// slots are never released, so the pool stays shut.
+// queries and appends fail fast with ErrClosed, and Close returns once
+// every in-flight solve has released its slot (or ctx expires). The
+// drained slots are never released, so the pool stays shut. On a
+// durable service Close then writes a final snapshot (so the next
+// start recovers without replay) and closes the store; a failed drain
+// does not skip that — losing the checkpoint because a query was slow
+// would trade a startup cost for nothing. Idempotent: only the first
+// call does the work (a second drain of the never-released slots
+// would block forever).
 func (s *Service) Close(ctx context.Context) error {
-	s.closed.Store(true)
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	var errs []error
+	if err := s.drain(ctx); err != nil {
+		errs = append(errs, err)
+	}
+	if s.dur != nil {
+		// appendMu: no commit may straddle the store shutdown.
+		s.appendMu.Lock()
+		if err := s.Checkpoint(); err != nil {
+			errs = append(errs, fmt.Errorf("server: final checkpoint: %w", err))
+		}
+		if err := s.dur.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("server: close durable store: %w", err))
+		}
+		s.appendMu.Unlock()
+	}
+	return errors.Join(errs...)
+}
+
+// drain fills the worker pool so no further query can take a slot.
+func (s *Service) drain(ctx context.Context) error {
 	for i := 0; i < cap(s.sem); i++ {
 		select {
 		case s.sem <- struct{}{}:
@@ -939,5 +1071,11 @@ func (s *Service) Stats() Stats {
 		InFlight:        len(s.sem),
 		LatencyP50MS:    float64(p50.Microseconds()) / 1000,
 		LatencyP99MS:    float64(p99.Microseconds()) / 1000,
+
+		Durable:                 s.dur != nil,
+		WALAppends:              s.walAppends.Load(),
+		Snapshots:               s.snapshots.Load(),
+		SnapshotFailures:        s.snapFailures.Load(),
+		RecoveryReplayedRecords: s.recoveryReplayed.Load(),
 	}
 }
