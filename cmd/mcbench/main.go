@@ -12,6 +12,8 @@
 //	mcbench -json -micro          # include ns/op + allocs/op micro benchmarks
 //	mcbench -compare BENCH_x.json # regression-check against a baseline
 //	mcbench -traceguard           # tracing-overhead guard: disabled vs unsampled
+//	mcbench -recovery             # crash-recovery probe: cold replay vs snapshot+tail
+//	mcbench -appendmix            # append-heavy probe: full recompile vs delta compile
 package main
 
 import (
@@ -51,6 +53,10 @@ func run(args []string, stdout io.Writer) error {
 	recovery := fs.Bool("recovery", false, "probe crash recovery: cold WAL replay vs snapshot+tail over the same history; fail below -recovery-min-speedup")
 	recoveryRecords := fs.Int("recovery-records", 20_000, "committed WAL records for the -recovery probe")
 	recoveryMinSpeedup := fs.Float64("recovery-min-speedup", 5, "required cold/snapshot recovery speedup for -recovery (0 disables the gate)")
+	appendmix := fs.Bool("appendmix", false, "probe append-heavy maintenance: full recompile vs delta compile per append over the same seeded mix; fail below -appendmix-min-speedup or on any oracle divergence")
+	appendmixBase := fs.Int("appendmix-base", 4_000, "pre-loaded facts for the -appendmix probe")
+	appendmixAppends := fs.Int("appendmix-appends", 400, "append steps for the -appendmix probe")
+	appendmixMinSpeedup := fs.Float64("appendmix-min-speedup", 5, "required full/delta amortized-compile speedup for -appendmix (0 disables the gate)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -89,6 +95,32 @@ func run(args []string, stdout io.Writer) error {
 		}
 		if *recoveryMinSpeedup > 0 && res.Speedup < *recoveryMinSpeedup {
 			return fmt.Errorf("recovery speedup %.2fx below the required %.2fx", res.Speedup, *recoveryMinSpeedup)
+		}
+		return nil
+	}
+	if *appendmix {
+		out := stdout
+		if *outPath != "" {
+			f, err := os.Create(*outPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			out = f
+		}
+		res, err := runAppendmixProbe(*appendmixBase, *appendmixAppends, *benchRounds, out)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			path, err := writeAppendmixJSON(".", res)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "wrote %s\n", path)
+		}
+		if *appendmixMinSpeedup > 0 && res.Speedup < *appendmixMinSpeedup {
+			return fmt.Errorf("appendmix speedup %.2fx below the required %.2fx", res.Speedup, *appendmixMinSpeedup)
 		}
 		return nil
 	}
@@ -225,6 +257,26 @@ type benchFile struct {
 	Experiments []benchExperiment `json:"experiments"`
 	Micro       []bench.Micro     `json:"micro,omitempty"`
 	Recovery    *recoveryResult   `json:"recovery,omitempty"`
+	Appendmix   *appendmixResult  `json:"appendmix,omitempty"`
+}
+
+// writeAppendmixJSON writes a BENCH record holding only the appendmix
+// probe (the -appendmix mode runs no experiment sweep).
+func writeAppendmixJSON(dir string, res *appendmixResult) (string, error) {
+	now := time.Now()
+	bf := benchFile{Timestamp: now.Format(time.RFC3339), Appendmix: res}
+	path := fmt.Sprintf("%s/BENCH_%s.json", dir, now.Format("20060102T150405"))
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(bf); err != nil {
+		f.Close()
+		return "", err
+	}
+	return path, f.Close()
 }
 
 // writeRecoveryJSON writes a BENCH record holding only the recovery

@@ -2,7 +2,10 @@
 // long-lived database of L/E/R facts, a bounded solver worker pool,
 // a compiled query graph built once per database generation and
 // shared by every query against it, and a per-(source, strategy,
-// mode) result cache invalidated by fact appends.
+// mode) result cache invalidated by fact appends. Small appends roll
+// the compiled graph forward with a delta patch instead of forcing a
+// rebuild (see -delta-max-frac), so append-heavy mixed traffic keeps
+// its amortized compile cost near zero.
 //
 // Usage:
 //
@@ -10,6 +13,7 @@
 //	mcserved -data-dir ./data      # restart-safe: WAL + snapshots + recovery
 //	mcserved -data-dir ./data -fsync interval -snapshot-every 10000
 //	mcserved -addr :9000 -workers 8 -timeout 5s
+//	mcserved -delta-max-frac 0.5   # delta-compile appends up to half the database
 //	mcserved -debug-addr :6060     # also serve net/http/pprof there
 //	mcserved -quiet                # no per-request log lines
 //
@@ -155,6 +159,7 @@ func run(args []string, stdout io.Writer, ready chan<- net.Addr) error {
 	fsyncMode := fs.String("fsync", "always", "WAL fsync policy with -data-dir: always, interval, or never")
 	fsyncInterval := fs.Duration("fsync-interval", 100*time.Millisecond, "background sync period under -fsync interval")
 	snapshotEvery := fs.Int("snapshot-every", 50_000, "snapshot once this many facts have been appended since the last one (0 = only on shutdown)")
+	deltaMaxFrac := fs.Float64("delta-max-frac", 0.25, "delta-compile appends up to this fraction of the database; larger appends recompile lazily (negative disables delta compilation)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -170,6 +175,7 @@ func run(args []string, stdout io.Writer, ready chan<- net.Addr) error {
 		Fsync:          fsync,
 		FsyncInterval:  *fsyncInterval,
 		SnapshotEvery:  *snapshotEvery,
+		DeltaMaxFrac:   *deltaMaxFrac,
 	})
 	if *dataDir != "" {
 		// Recover before listening: a port that answers implies a

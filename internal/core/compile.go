@@ -19,14 +19,28 @@ import (
 // offset array per graph replaces the per-node [][]int32 slices of
 // the old interned form — rows are contiguous, a frontier expansion
 // walks memory linearly, and the whole graph is two allocations.
+//
+// A delta-extended graph (see Extend) trades the flat layout for a
+// per-row table: rows[x] is node x's arc list, aliasing the parent
+// artifact's storage for every row the delta did not touch and owning
+// fresh storage for the re-laid rows. row() dispatches on which form
+// is present, so solvers never see the difference.
 type csr struct {
-	off  []int32 // len = nodes + 1
+	off  []int32 // len = nodes + 1 (flat form)
 	arcs []int32
+	rows [][]int32 // non-nil on a delta-extended graph; overrides off/arcs
+	m    int       // arc count, maintained across both forms
 }
 
 // row returns node x's arc list. Ids at or past the node count — the
 // bound query constant when it occurs in no relation — have no arcs.
 func (c *csr) row(x int32) []int32 {
+	if c.rows != nil {
+		if int(x) >= len(c.rows) {
+			return nil
+		}
+		return c.rows[x]
+	}
 	if int(x)+1 >= len(c.off) {
 		return nil
 	}
@@ -66,7 +80,7 @@ func buildCSR(n int, arcs []iarc, rev bool) csr {
 		flat[cur[s]] = d
 		cur[s]++
 	}
-	return csr{off: off, arcs: flat}
+	return csr{off: off, arcs: flat, m: len(flat)}
 }
 
 // Compiled is a query instance compiled once and shared read-only
@@ -88,6 +102,16 @@ type Compiled struct {
 	rNames []string
 	lid    map[string]int32
 	rid    map[string]int32
+	// lidOv and ridOv are the delta overlays: symbols interned by
+	// Extend since the last full Compile, as an immutable chain of
+	// small per-generation maps. The base maps above are shared
+	// read-only across a whole extend chain (concurrent queries on the
+	// parent may be probing them), so a delta generation interns its
+	// new constants into a fresh link instead of rehashing the base —
+	// and instead of copying the accumulated overlay, which would make
+	// a long append chain quadratic. nil on a cold-compiled artifact.
+	lidOv *symOv
+	ridOv *symOv
 
 	lOut csr // G_L arcs: L-node -> L-nodes
 	lIn  csr // reverse of lOut
@@ -97,6 +121,14 @@ type Compiled struct {
 	// lg is the magic graph as a graph.Digraph, prebuilt so per-query
 	// classification (method auto-selection) skips reconstruction.
 	lg *graph.Digraph
+
+	// lGen, eGen, and rGen tag each relation's adjacency with the
+	// generation at which it last changed: an Extend whose delta leaves
+	// a relation untouched aliases that relation's graphs wholesale and
+	// carries the parent's tag forward. depth counts Extend steps since
+	// the last full Compile (see DeltaDepth).
+	lGen, eGen, rGen uint64
+	depth            int
 }
 
 // Compile interns the three database relations into graph form once.
@@ -183,7 +215,35 @@ func (c *Compiled) NumR() int { return len(c.rNames) }
 // Arcs reports the deduplicated arc counts of G_L, G_E, and the
 // descent graph.
 func (c *Compiled) Arcs() (l, e, r int) {
-	return len(c.lOut.arcs), len(c.eOut.arcs), len(c.rOut.arcs)
+	return c.lOut.m, c.eOut.m, c.rOut.m
+}
+
+// symOv is one link of the overlay chain: the symbols one Extend
+// generation interned, plus the previous generation's link. Links are
+// immutable once their Extend returns, so siblings branch freely and
+// in-flight queries on any ancestor stay safe — a name is interned in
+// exactly one link (or the base), so there is no shadowing and walk
+// order is a pure lookup-cost concern.
+type symOv struct {
+	prev *symOv
+	m    map[string]int32
+}
+
+// lookupSym resolves name in a possibly-overlaid symbol table: the
+// shared base map first (the common case, O(1)), then the overlay
+// chain newest-first — symbols interned by recent deltas sit near the
+// head, and a genuine miss costs one probe per link, bounded by the
+// serving layer's chain-depth cap.
+func lookupSym(base map[string]int32, overlay *symOv, name string) (int32, bool) {
+	if id, ok := base[name]; ok {
+		return id, true
+	}
+	for ov := overlay; ov != nil; ov = ov.prev {
+		if id, ok := ov.m[name]; ok {
+			return id, true
+		}
+	}
+	return 0, false
 }
 
 // bind attaches a source constant to the compiled instance, producing
@@ -193,7 +253,7 @@ func (c *Compiled) Arcs() (l, e, r int) {
 // interned fresh — so bind never mutates the shared artifact.
 func (c *Compiled) bind(source string) *instance {
 	in := &instance{c: c, srcName: source, nL: len(c.lNames), nR: len(c.rNames)}
-	if id, ok := c.lid[source]; ok {
+	if id, ok := lookupSym(c.lid, c.lidOv, source); ok {
 		in.src = id
 	} else {
 		in.src = int32(len(c.lNames))

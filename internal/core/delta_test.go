@@ -1,0 +1,256 @@
+// Delta-compilation equivalence suite: Extend(dL,dE,dR) on a
+// compiled prefix must be indistinguishable from a cold Compile over
+// the concatenated relations — structurally (same symbol tables, same
+// per-row CSR contents and order, same magic graph) and
+// observationally (byte-identical Results, Stats included, for every
+// method). The suite drives seeded workload.RandomRegime instances
+// through randomized prefix/delta splits, multi-step extend chains,
+// and the snapshot codec, and a fuzz target extends the split search.
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"magiccounting/internal/core"
+	"magiccounting/internal/workload"
+)
+
+// splitQuery cuts each relation of q at the given fractions of its
+// length: the prefix plays the already-compiled database, the tail
+// the append delta.
+func splitQuery(q core.Query, fl, fe, fr float64) (base, delta core.Query) {
+	cut := func(p []core.Pair, f float64) ([]core.Pair, []core.Pair) {
+		k := int(f * float64(len(p)))
+		return p[:k], p[k:]
+	}
+	base.Source, delta.Source = q.Source, q.Source
+	base.L, delta.L = cut(q.L, fl)
+	base.E, delta.E = cut(q.E, fe)
+	base.R, delta.R = cut(q.R, fr)
+	return base, delta
+}
+
+// checkExtendEquivalence compiles base, extends by delta, and demands
+// the result match a cold compile of the whole instance: structural
+// identity, then identical solver outcomes across methods and a few
+// sources (including one interned only by the delta and one absent
+// everywhere).
+func checkExtendEquivalence(t *testing.T, label string, whole, base, delta core.Query) {
+	t.Helper()
+	cold := core.Compile(whole.L, whole.E, whole.R)
+	parent := core.Compile(base.L, base.E, base.R)
+	ext := parent.Extend(delta.L, delta.E, delta.R)
+	if err := ext.StructuralEqual(cold); err != nil {
+		t.Fatalf("%s: extended artifact diverges from cold compile: %v", label, err)
+	}
+	// The parent must be untouched by the extension (in-flight queries
+	// keep using it): re-extending must still match.
+	again := parent.Extend(delta.L, delta.E, delta.R)
+	if err := again.StructuralEqual(cold); err != nil {
+		t.Fatalf("%s: second Extend of the same parent diverges: %v", label, err)
+	}
+	sources := []string{whole.Source, "absent-from-everything"}
+	if len(delta.L) > 0 {
+		sources = append(sources, delta.L[len(delta.L)-1].To)
+	}
+	for _, src := range sources {
+		for _, s := range equivStrategies {
+			for _, m := range equivModes {
+				want, werr := cold.Solve(src, s, m, core.Options{})
+				got, gerr := ext.Solve(src, s, m, core.Options{})
+				checkSame(t, fmt.Sprintf("%s src=%s %v/%v", label, src, s, m), want, werr, got, gerr)
+			}
+		}
+		want, wsel, werr := cold.SolveAuto(src, core.Options{})
+		got, gsel, gerr := ext.SolveAuto(src, core.Options{})
+		checkSame(t, fmt.Sprintf("%s src=%s auto", label, src), want, werr, got, gerr)
+		if werr == nil && !reflect.DeepEqual(wsel, gsel) {
+			t.Errorf("%s src=%s: auto selection diverged: %+v != %+v", label, src, wsel, gsel)
+		}
+	}
+}
+
+// TestExtendAgainstCompile is the property test over the seeded regime
+// generators: for every regime kind, seed, and a few random splits,
+// Compile(prefix)+Extend(tail) ≡ Compile(whole).
+func TestExtendAgainstCompile(t *testing.T) {
+	kinds := []struct {
+		name string
+		kind workload.RegimeKind
+	}{
+		{"regular", workload.KindRegular},
+		{"cyclic-regular", workload.KindCyclicRegular},
+		{"multiple", workload.KindMultiple},
+		{"recurring", workload.KindRecurring},
+	}
+	for _, k := range kinds {
+		for seed := int64(1); seed <= 3; seed++ {
+			q := workload.RandomRegime(k.kind, seed, 3)
+			rng := rand.New(rand.NewSource(seed * 977))
+			for split := 0; split < 3; split++ {
+				fl, fe, fr := rng.Float64(), rng.Float64(), rng.Float64()
+				label := fmt.Sprintf("%s/seed=%d/split=%.2f,%.2f,%.2f", k.name, seed, fl, fe, fr)
+				base, delta := splitQuery(q, fl, fe, fr)
+				checkExtendEquivalence(t, label, q, base, delta)
+			}
+		}
+	}
+}
+
+// TestExtendEdgeCases pins the boundary shapes: empty parent, empty
+// delta, delta entirely duplicating the parent (idempotency), and a
+// delta touching a single relation (the wholesale-aliasing path).
+func TestExtendEdgeCases(t *testing.T) {
+	q := workload.Lasso(5, 4)
+	cold := core.Compile(q.L, q.E, q.R)
+
+	t.Run("empty-parent", func(t *testing.T) {
+		ext := core.Compile(nil, nil, nil).Extend(q.L, q.E, q.R)
+		if err := ext.StructuralEqual(cold); err != nil {
+			t.Fatalf("extend from empty diverges: %v", err)
+		}
+	})
+	t.Run("empty-delta", func(t *testing.T) {
+		ext := cold.Extend(nil, nil, nil)
+		if err := ext.StructuralEqual(cold); err != nil {
+			t.Fatalf("empty delta diverges: %v", err)
+		}
+		if ext.DeltaDepth() != 1 {
+			t.Fatalf("DeltaDepth = %d, want 1", ext.DeltaDepth())
+		}
+	})
+	t.Run("duplicate-delta", func(t *testing.T) {
+		ext := cold.Extend(q.L, q.E, q.R)
+		if err := ext.StructuralEqual(cold); err != nil {
+			t.Fatalf("re-sent facts changed the artifact: %v", err)
+		}
+	})
+	t.Run("single-relation", func(t *testing.T) {
+		whole := q
+		whole.L = append(append([]core.Pair(nil), q.L...), core.Pair{From: "fresh-x", To: "fresh-y"})
+		ext := cold.Extend([]core.Pair{{From: "fresh-x", To: "fresh-y"}}, nil, nil)
+		if err := ext.StructuralEqual(core.Compile(whole.L, whole.E, whole.R)); err != nil {
+			t.Fatalf("L-only delta diverges: %v", err)
+		}
+		_, eGen, rGen := func() (l, e, r uint64) { return ext.RelationGenerations() }()
+		pl, pe, pr := cold.RelationGenerations()
+		if eGen != pe || rGen != pr {
+			t.Fatalf("untouched relations changed generation: got e=%d r=%d, parent e=%d r=%d", eGen, rGen, pe, pr)
+		}
+		if l, _, _ := ext.RelationGenerations(); l == pl {
+			t.Fatalf("touched L relation kept the parent tag %d", l)
+		}
+	})
+}
+
+// TestExtendChain extends the same artifact many times in sequence —
+// the serving layer's rolling-artifact shape — and checks structural
+// identity against a cold compile at every step, plus the generation
+// stamping contract SetGeneration provides.
+func TestExtendChain(t *testing.T) {
+	q := workload.RandomRegime(workload.KindMultiple, 7, 3)
+	base, rest := splitQuery(q, 0.3, 0.3, 0.3)
+	comp := core.Compile(base.L, base.E, base.R)
+	comp.SetGeneration(1)
+	accL := append([]core.Pair(nil), base.L...)
+	accE := append([]core.Pair(nil), base.E...)
+	accR := append([]core.Pair(nil), base.R...)
+
+	steps := 8
+	for i := 0; i < steps; i++ {
+		lo := func(p []core.Pair) []core.Pair {
+			k := len(p) / steps
+			if i == steps-1 {
+				return p[i*k:]
+			}
+			return p[i*k : (i+1)*k]
+		}
+		dL, dE, dR := lo(rest.L), lo(rest.E), lo(rest.R)
+		next := comp.Extend(dL, dE, dR)
+		next.SetGeneration(comp.Generation + 1)
+		if next.DeltaDepth() != i+1 {
+			t.Fatalf("step %d: DeltaDepth = %d, want %d", i, next.DeltaDepth(), i+1)
+		}
+		accL = append(accL, dL...)
+		accE = append(accE, dE...)
+		accR = append(accR, dR...)
+		if err := next.StructuralEqual(core.Compile(accL, accE, accR)); err != nil {
+			t.Fatalf("step %d: chain diverged from cold compile: %v", i, err)
+		}
+		// The previous link must still answer for its own prefix.
+		if res, err := comp.Solve(q.Source, core.Basic, core.Integrated, core.Options{}); err != nil && res == nil && err.Error() == "" {
+			t.Fatalf("step %d: parent artifact broken: %v", i, err)
+		}
+		comp = next
+	}
+}
+
+// TestExtendCodecIdentity checks the snapshot interplay: an extended
+// artifact encodes through the same flat layout as a cold-compiled
+// one, the decode round trip is exact (re-encoding reproduces the
+// bytes), and the decoded artifact still compiles the same database
+// as the cold build.
+func TestExtendCodecIdentity(t *testing.T) {
+	q := workload.RandomRegime(workload.KindRecurring, 11, 3)
+	base, delta := splitQuery(q, 0.5, 0.4, 0.6)
+	cold := core.Compile(q.L, q.E, q.R)
+	ext := core.Compile(base.L, base.E, base.R).Extend(delta.L, delta.E, delta.R)
+	ext.SetGeneration(42)
+
+	enc := ext.AppendBinary(nil)
+	dec, rest, err := core.DecodeCompiled(enc)
+	if err != nil {
+		t.Fatalf("decode extended encoding: %v", err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("decode left %d bytes", len(rest))
+	}
+	if dec.Generation != 42 {
+		t.Fatalf("decoded generation %d, want 42", dec.Generation)
+	}
+	if err := dec.StructuralEqual(ext); err != nil {
+		t.Fatalf("decoded artifact diverges from the encoded one: %v", err)
+	}
+	if err := dec.StructuralEqual(cold); err != nil {
+		t.Fatalf("decoded artifact diverges from the cold compile: %v", err)
+	}
+	re := dec.AppendBinary(nil)
+	if len(re) != len(enc) {
+		t.Fatalf("re-encoding length diverges: %d != %d", len(re), len(enc))
+	}
+	for i := range re {
+		if re[i] != enc[i] {
+			t.Fatalf("re-encoding diverges at byte %d", i)
+		}
+	}
+	for _, src := range []string{q.Source, "absent-from-everything"} {
+		want, werr := cold.Solve(src, core.Multiple, core.Integrated, core.Options{})
+		got, gerr := dec.Solve(src, core.Multiple, core.Integrated, core.Options{})
+		checkSame(t, fmt.Sprintf("decoded src=%s", src), want, werr, got, gerr)
+	}
+}
+
+// FuzzExtendAgainstCompile lets the fuzzer hunt for a (regime, seed,
+// split) combination where Extend and Compile disagree.
+func FuzzExtendAgainstCompile(f *testing.F) {
+	f.Add(uint8(0), int64(1), uint8(40), uint8(80), uint8(120))
+	f.Add(uint8(1), int64(2), uint8(0), uint8(255), uint8(128))
+	f.Add(uint8(2), int64(3), uint8(200), uint8(10), uint8(90))
+	f.Add(uint8(3), int64(4), uint8(255), uint8(255), uint8(255))
+	f.Fuzz(func(t *testing.T, kind uint8, seed int64, cl, ce, cr uint8) {
+		q := workload.RandomRegime(workload.RegimeKind(kind%4), seed, 2)
+		base, delta := splitQuery(q,
+			float64(cl)/255, float64(ce)/255, float64(cr)/255)
+		cold := core.Compile(q.L, q.E, q.R)
+		ext := core.Compile(base.L, base.E, base.R).Extend(delta.L, delta.E, delta.R)
+		if err := ext.StructuralEqual(cold); err != nil {
+			t.Fatalf("kind=%d seed=%d split=(%d,%d,%d): %v", kind%4, seed, cl, ce, cr, err)
+		}
+		want, werr := cold.Solve(q.Source, core.Multiple, core.Integrated, core.Options{})
+		got, gerr := ext.Solve(q.Source, core.Multiple, core.Integrated, core.Options{})
+		checkSame(t, "fuzz", want, werr, got, gerr)
+	})
+}

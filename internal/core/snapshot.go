@@ -24,13 +24,21 @@ var ErrBadArtifact = errors.New("core: malformed compiled artifact")
 // AppendBinary serializes the artifact onto buf and returns the
 // extended slice: generation, both symbol tables, then the four CSR
 // graphs (offsets and arcs as uvarints; every value is non-negative).
+// A delta-extended artifact is flattened through the same layout —
+// snapshots never know (or care) how the artifact was built, and an
+// encode/decode round trip of an extended artifact is exact.
 func (c *Compiled) AppendBinary(buf []byte) []byte {
 	buf = binary.AppendUvarint(buf, c.Generation)
 	buf = appendStringTable(buf, c.lNames)
 	buf = appendStringTable(buf, c.rNames)
-	for _, g := range []*csr{&c.lOut, &c.lIn, &c.eOut, &c.rOut} {
-		buf = appendInt32s(buf, g.off)
-		buf = appendInt32s(buf, g.arcs)
+	nL, nR := len(c.lNames), len(c.rNames)
+	for _, gn := range []struct {
+		g *csr
+		n int
+	}{{&c.lOut, nL}, {&c.lIn, nL}, {&c.eOut, nL}, {&c.rOut, nR}} {
+		flat := gn.g.flatten(gn.n)
+		buf = appendInt32s(buf, flat.off)
+		buf = appendInt32s(buf, flat.arcs)
 	}
 	return buf
 }
@@ -50,6 +58,7 @@ func DecodeCompiled(data []byte) (*Compiled, []byte, error) {
 	for i, g := range []*csr{&c.lOut, &c.lIn, &c.eOut, &c.rOut} {
 		g.off = r.int32s()
 		g.arcs = r.int32s()
+		g.m = len(g.arcs)
 		if r.err != nil {
 			break
 		}

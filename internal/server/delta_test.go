@@ -1,0 +1,318 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"magiccounting/internal/core"
+	"magiccounting/internal/durable"
+)
+
+// chainFacts builds the i-th link of a disjoint chain: one L arc, one
+// identity E fact, one R arc — every batch commits something new.
+func chainFacts(prefix string, i int) FactsRequest {
+	node := func(j int) string { return fmt.Sprintf("%s_n%d", prefix, j) }
+	return FactsRequest{
+		L: []core.Pair{{From: node(i), To: node(i + 1)}},
+		E: []core.Pair{{From: node(i), To: node(i)}},
+		R: []core.Pair{{From: node(i), To: node(i + 1)}},
+	}
+}
+
+// TestDeltaCompileOnAppend is the happy path: once a query has
+// compiled the artifact, a small append rolls it forward instead of
+// dropping it — the next query pays no compile, the artifact's chain
+// depth grows, and the stats block reports the delta build.
+func TestDeltaCompileOnAppend(t *testing.T) {
+	svc := New(Config{Workers: 2})
+	defer svc.Close(context.Background())
+	for i := 0; i < 20; i++ {
+		if _, err := svc.AppendFacts(chainFacts("base", i)); err != nil {
+			t.Fatalf("seed append %d: %v", i, err)
+		}
+	}
+	// First query compiles cold and publishes the artifact.
+	if _, err := svc.Query(context.Background(), QueryRequest{Source: "base_n0"}); err != nil {
+		t.Fatalf("first query: %v", err)
+	}
+	if got := svc.fullCompiles.Load(); got != 1 {
+		t.Fatalf("full compiles after first query = %d, want 1", got)
+	}
+
+	for i := 0; i < 5; i++ {
+		if _, err := svc.AppendFacts(chainFacts("delta", i)); err != nil {
+			t.Fatalf("delta append %d: %v", i, err)
+		}
+	}
+	st := svc.Stats()
+	if st.DeltaCompile.DeltaCompiles != 5 {
+		t.Fatalf("delta compiles = %d, want 5", st.DeltaCompile.DeltaCompiles)
+	}
+	if st.DeltaCompile.ChainDepth != 5 {
+		t.Fatalf("chain depth = %d, want 5", st.DeltaCompile.ChainDepth)
+	}
+	if st.Compiles != 6 {
+		t.Fatalf("total compiles = %d, want 6 (1 full + 5 delta)", st.Compiles)
+	}
+	if st.DeltaCompile.LastAppend == nil || st.DeltaCompile.LastAppend.Find("delta-compile") == nil {
+		t.Fatalf("last-append span missing its delta-compile child: %+v", st.DeltaCompile.LastAppend)
+	}
+
+	svc.mu.RLock()
+	comp, gen := svc.compiled, svc.generation
+	l, e, r := svc.l, svc.e, svc.r
+	svc.mu.RUnlock()
+	if comp == nil || comp.Generation != gen {
+		t.Fatalf("extended artifact not published for generation %d: %+v", gen, comp)
+	}
+	if err := comp.StructuralEqual(core.Compile(l, e, r)); err != nil {
+		t.Fatalf("rolled artifact diverges from cold compile: %v", err)
+	}
+
+	// The next query must hit the rolled artifact, not recompile.
+	resp, err := svc.Query(context.Background(), QueryRequest{Source: "delta_n0"})
+	if err != nil {
+		t.Fatalf("post-delta query: %v", err)
+	}
+	if resp.Generation != gen {
+		t.Fatalf("query generation %d, want %d", resp.Generation, gen)
+	}
+	if got := svc.fullCompiles.Load(); got != 1 {
+		t.Fatalf("full compiles after rolled-artifact query = %d, want 1", got)
+	}
+}
+
+// TestDeltaFallback pins the two skip conditions: a delta above
+// DeltaMaxFrac drops the artifact (lazy recompile, fallback counted),
+// and a negative DeltaMaxFrac disables the path entirely (PR-5
+// behavior, no fallback counted).
+func TestDeltaFallback(t *testing.T) {
+	t.Run("threshold", func(t *testing.T) {
+		svc := New(Config{Workers: 2, DeltaMaxFrac: 0.05})
+		defer svc.Close(context.Background())
+		for i := 0; i < 10; i++ {
+			if _, err := svc.AppendFacts(chainFacts("base", i)); err != nil {
+				t.Fatalf("seed append: %v", err)
+			}
+		}
+		if _, err := svc.Query(context.Background(), QueryRequest{Source: "base_n0"}); err != nil {
+			t.Fatalf("query: %v", err)
+		}
+		// 30 facts into a 30-fact database: far above 5%.
+		var req FactsRequest
+		for i := 0; i < 10; i++ {
+			f := chainFacts("bulk", i)
+			req.L = append(req.L, f.L...)
+			req.E = append(req.E, f.E...)
+			req.R = append(req.R, f.R...)
+		}
+		if _, err := svc.AppendFacts(req); err != nil {
+			t.Fatalf("bulk append: %v", err)
+		}
+		st := svc.Stats()
+		if st.DeltaCompile.Fallbacks != 1 || st.DeltaCompile.DeltaCompiles != 0 {
+			t.Fatalf("fallbacks = %d, delta compiles = %d; want 1, 0", st.DeltaCompile.Fallbacks, st.DeltaCompile.DeltaCompiles)
+		}
+		svc.mu.RLock()
+		comp := svc.compiled
+		svc.mu.RUnlock()
+		if comp != nil {
+			t.Fatalf("artifact should have been dropped on fallback, got generation %d", comp.Generation)
+		}
+	})
+	t.Run("disabled", func(t *testing.T) {
+		svc := New(Config{Workers: 2, DeltaMaxFrac: -1})
+		defer svc.Close(context.Background())
+		for i := 0; i < 10; i++ {
+			if _, err := svc.AppendFacts(chainFacts("base", i)); err != nil {
+				t.Fatalf("seed append: %v", err)
+			}
+		}
+		if _, err := svc.Query(context.Background(), QueryRequest{Source: "base_n0"}); err != nil {
+			t.Fatalf("query: %v", err)
+		}
+		if _, err := svc.AppendFacts(chainFacts("delta", 0)); err != nil {
+			t.Fatalf("delta append: %v", err)
+		}
+		st := svc.Stats()
+		if st.DeltaCompile.DeltaCompiles != 0 || st.DeltaCompile.Fallbacks != 0 {
+			t.Fatalf("disabled path ran: delta=%d fallbacks=%d", st.DeltaCompile.DeltaCompiles, st.DeltaCompile.Fallbacks)
+		}
+		svc.mu.RLock()
+		comp := svc.compiled
+		svc.mu.RUnlock()
+		if comp != nil {
+			t.Fatalf("artifact should stay dropped with delta disabled")
+		}
+	})
+}
+
+// TestFirstAppendAfterRecovery covers the recovered-sets path: after
+// Open the membership sets are rebuilt off the append lock (warmed in
+// the background), and the first appends still dedupe exactly — a
+// re-POST of recovered facts is a generation-preserving no-op.
+func TestFirstAppendAfterRecovery(t *testing.T) {
+	dir := t.TempDir()
+	svc := New(Config{Workers: 2, Fsync: durable.FsyncNever})
+	if _, err := svc.Open(dir); err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < 25; i++ {
+		if _, err := svc.AppendFacts(chainFacts("base", i)); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	if err := svc.Close(context.Background()); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	svc = New(Config{Workers: 2, Fsync: durable.FsyncNever})
+	if _, err := svc.Open(dir); err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer svc.Close(context.Background())
+	gen := svc.Stats().Generation
+
+	// Re-POST a recovered fact: must dedupe against the rebuilt sets
+	// and leave the generation alone.
+	resp, err := svc.AppendFacts(chainFacts("base", 3))
+	if err != nil {
+		t.Fatalf("idempotent re-append: %v", err)
+	}
+	if resp.Generation != gen || resp.AddedL+resp.AddedE+resp.AddedR != 0 {
+		t.Fatalf("re-append changed state: gen %d->%d, added %d/%d/%d",
+			gen, resp.Generation, resp.AddedL, resp.AddedE, resp.AddedR)
+	}
+	// A genuinely new fact still commits.
+	resp, err = svc.AppendFacts(chainFacts("fresh", 0))
+	if err != nil {
+		t.Fatalf("fresh append: %v", err)
+	}
+	if resp.Generation != gen+1 || resp.AddedL != 1 {
+		t.Fatalf("fresh append: gen %d (want %d), addedL %d", resp.Generation, gen+1, resp.AddedL)
+	}
+}
+
+// TestConcurrentAppendExtendQueryCheckpoint is the -race suite for
+// the rolling artifact: concurrent appenders keep extending the
+// compiled artifact while queriers solve on whatever generation they
+// snapshot and a checkpointer persists it mid-roll. At the end the
+// published artifact must be structurally equivalent to a cold
+// compile of the final database, and a reopened service must answer
+// identically.
+func TestConcurrentAppendExtendQueryCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	svc := New(Config{
+		Workers:       4,
+		Fsync:         durable.FsyncNever,
+		SnapshotEvery: 50,
+	})
+	if _, err := svc.Open(dir); err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+
+	// Seed and compile so the appenders extend from the start.
+	for i := 0; i < 10; i++ {
+		if _, err := svc.AppendFacts(chainFacts("seed", i)); err != nil {
+			t.Fatalf("seed: %v", err)
+		}
+	}
+	if _, err := svc.Query(context.Background(), QueryRequest{Source: "seed_n0"}); err != nil {
+		t.Fatalf("seed query: %v", err)
+	}
+
+	const (
+		appenders  = 2
+		batchesPer = 50
+		queriers   = 3
+	)
+	var wg sync.WaitGroup
+	errc := make(chan error, appenders+queriers+1)
+	for a := 0; a < appenders; a++ {
+		wg.Add(1)
+		go func(a int) {
+			defer wg.Done()
+			for i := 0; i < batchesPer; i++ {
+				if _, err := svc.AppendFacts(chainFacts(fmt.Sprintf("a%d", a), i)); err != nil {
+					errc <- fmt.Errorf("appender %d: %w", a, err)
+					return
+				}
+			}
+		}(a)
+	}
+	for q := 0; q < queriers; q++ {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			for i := 0; i < 60; i++ {
+				src := fmt.Sprintf("a%d_n%d", i%appenders, i%batchesPer)
+				if _, err := svc.Query(context.Background(), QueryRequest{Source: src}); err != nil {
+					errc <- fmt.Errorf("querier %d: %w", q, err)
+					return
+				}
+			}
+		}(q)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			if err := svc.Checkpoint(); err != nil {
+				errc <- fmt.Errorf("checkpoint: %w", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+
+	svc.mu.RLock()
+	comp, gen := svc.compiled, svc.generation
+	l, e, r := svc.l, svc.e, svc.r
+	svc.mu.RUnlock()
+	cold := core.Compile(l, e, r)
+	if comp != nil {
+		if comp.Generation != gen {
+			t.Fatalf("published artifact generation %d != %d", comp.Generation, gen)
+		}
+		if err := comp.StructuralEqual(cold); err != nil {
+			t.Fatalf("final artifact diverges from cold compile: %v", err)
+		}
+	}
+	want, err := cold.Solve("a0_n0", core.Multiple, core.Integrated, core.Options{})
+	if err != nil {
+		t.Fatalf("cold solve: %v", err)
+	}
+	resp, err := svc.Query(context.Background(), QueryRequest{Source: "a0_n0", Strategy: "multiple", Mode: "integrated"})
+	if err != nil {
+		t.Fatalf("final query: %v", err)
+	}
+	if !reflect.DeepEqual(resp.Answers, want.Answers) {
+		t.Fatalf("served answers diverge: %v != %v", resp.Answers, want.Answers)
+	}
+	if err := svc.Close(context.Background()); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// The snapshot written mid-roll (possibly of an extended artifact)
+	// must recover to the same answers.
+	svc2 := New(Config{Workers: 2, Fsync: durable.FsyncNever})
+	if _, err := svc2.Open(dir); err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer svc2.Close(context.Background())
+	resp2, err := svc2.Query(context.Background(), QueryRequest{Source: "a0_n0", Strategy: "multiple", Mode: "integrated"})
+	if err != nil {
+		t.Fatalf("recovered query: %v", err)
+	}
+	if !reflect.DeepEqual(resp2.Answers, want.Answers) {
+		t.Fatalf("recovered answers diverge: %v != %v", resp2.Answers, want.Answers)
+	}
+}

@@ -48,12 +48,17 @@ func (s *Service) Open(dir string) (*durable.RecoveryInfo, error) {
 	// replayed past it (durable.Open already nils it otherwise); with
 	// it in place the first query skips the compile entirely.
 	s.compiled = info.Compiled
-	// Drop the empty sets New built: the first append rebuilds them
-	// from the recovered slices (see ensureSets).
+	// Drop the empty sets New built: they must be rebuilt from the
+	// recovered slices (see ensureSets).
 	s.lSet, s.eSet, s.rSet = nil, nil, nil
 	s.mu.Unlock()
 	s.recoveryReplayed.Store(int64(info.ReplayedRecords))
 	s.recoverSpan = tr.Finish(0)
+	// Warm the membership sets off the request path: a large recovered
+	// database pays the O(n) build here, in the background, instead of
+	// inside the first append (ensureSets serializes the two, so an
+	// append landing mid-build simply waits for this one).
+	go s.ensureSets()
 	return info, nil
 }
 

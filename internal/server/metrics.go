@@ -148,6 +148,13 @@ var fsyncBuckets = []float64{0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01
 // milliseconds (small instances) to a 60s ceiling.
 var snapshotBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60}
 
+// deltaCompileBuckets are the mc_delta_compile_seconds bucket bounds:
+// a delta extend is O(nodes) slice headers plus O(delta) work, so the
+// bulk of observations sit in the tens of microseconds; the upper
+// bounds exist to catch a threshold misconfiguration letting huge
+// deltas through.
+var deltaCompileBuckets = []float64{0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 1, 2.5}
+
 // labeledCounters is a fixed-key family of counters: the key space is
 // closed (the eight strategy/mode combinations, the three regimes),
 // so the map is built once and increments are lock-free.
@@ -193,7 +200,10 @@ func (s *Service) WriteMetrics(w io.Writer) error {
 	}{
 		{"mc_queries_total", "Queries received (batch items counted individually).", st.Queries},
 		{"mc_batch_requests_total", "Batch query requests received.", st.BatchRequests},
-		{"mc_compiles_total", "Compiled query-graph builds (once per generation on the happy path).", st.Compiles},
+		{"mc_compiles_total", "Compiled query-graph builds, full or delta (once per generation on the happy path).", st.Compiles},
+		{"mc_full_compiles_total", "Cold Compile builds over the whole database.", st.DeltaCompile.FullCompiles},
+		{"mc_delta_compiles_total", "Delta Extend builds rolling the artifact across an append.", st.DeltaCompile.DeltaCompiles},
+		{"mc_delta_fallbacks_total", "Appends that skipped the delta path (fraction threshold or chain depth).", st.DeltaCompile.Fallbacks},
 		{"mc_queries_rejected_total", "Queries fast-failed with ErrClosed during shutdown (excluded from errors and latency).", st.QueriesRejected},
 		{"mc_cache_hits_total", "Queries answered from the result cache.", st.CacheHits},
 		{"mc_cache_misses_total", "Queries that ran a solver.", st.CacheMisses},
@@ -271,6 +281,9 @@ func (s *Service) WriteMetrics(w io.Writer) error {
 		return err
 	}
 	if err := s.fsyncHist.write(w, "mc_wal_fsync_seconds", "WAL fsync duration."); err != nil {
+		return err
+	}
+	if err := s.deltaHist.write(w, "mc_delta_compile_seconds", "Delta compile (Extend) duration per append."); err != nil {
 		return err
 	}
 	return s.snapHist.write(w, "mc_snapshot_seconds", "Snapshot write duration.")

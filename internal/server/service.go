@@ -59,6 +59,13 @@ type Config struct {
 	// facts have been appended since the last snapshot. Zero disables
 	// automatic snapshots (Close still writes a final one).
 	SnapshotEvery int
+	// DeltaMaxFrac bounds delta compilation: an append whose
+	// deduplicated delta is at most this fraction of the resulting
+	// database extends the current compiled artifact in place of the
+	// next query's full rebuild. Larger appends (bulk loads) fall back
+	// to dropping the artifact, recompiled lazily on the next miss.
+	// Zero selects 0.25; negative disables delta compilation entirely.
+	DeltaMaxFrac float64
 }
 
 func (c Config) withDefaults() Config {
@@ -74,8 +81,19 @@ func (c Config) withDefaults() Config {
 	if c.LatencyWindow <= 0 {
 		c.LatencyWindow = 1024
 	}
+	if c.DeltaMaxFrac == 0 {
+		c.DeltaMaxFrac = 0.25
+	}
 	return c
 }
+
+// maxDeltaChain bounds the Extend chain between full compiles: every
+// delta generation aliases its parent's storage, so an unbounded
+// chain would pin each generation's re-laid rows (and overlay maps)
+// for the life of the newest artifact. At this depth the appender
+// drops the artifact instead, and the next query miss compiles cold,
+// flattening the chain.
+const maxDeltaChain = 256
 
 // cacheKey identifies one cached evaluation. Auto-selected queries
 // cache under their own key so a hit skips even the graph
@@ -120,8 +138,13 @@ type Service struct {
 	// relations are sets, and re-POSTing facts already present must
 	// not invalidate the result cache. They belong to the appender
 	// (guarded by appendMu, not mu — queries never read them), and are
-	// nil after Open until the first append materializes them: recovery
-	// of a large database should not pay for maps it may never need.
+	// nil after Open until materialized — by the background warm Open
+	// launches, or by the first append, whichever runs first. setsMu
+	// guards materialization only: once the maps are non-nil they are
+	// never rebuilt, and only appendMu holders mutate them (ensureSets
+	// runs before appendMu is taken, so the build never blocks a
+	// committed append and never holds appendMu for O(database)).
+	setsMu           sync.Mutex
 	lSet, eSet, rSet map[core.Pair]bool
 	generation       uint64
 	cache            map[cacheKey]*cacheEntry
@@ -164,6 +187,17 @@ type Service struct {
 
 	closed atomic.Bool
 
+	// deltaCompiles + fullCompiles partition compiles; deltaFallbacks
+	// counts appends that qualified for a delta but exceeded the
+	// fraction threshold or the chain-depth bound and dropped the
+	// artifact instead. lastAppendSpan is the most recent append's
+	// finished span tree, surfaced in /v1/stats.
+	deltaCompiles  atomic.Int64
+	fullCompiles   atomic.Int64
+	deltaFallbacks atomic.Int64
+	deltaHist      *histogram
+	lastAppendSpan atomic.Pointer[obs.Span]
+
 	queries     atomic.Int64
 	batches     atomic.Int64
 	compiles    atomic.Int64
@@ -193,6 +227,7 @@ func New(cfg Config) *Service {
 		retHist:   newHistogram(retrievalBuckets...),
 		fsyncHist: newHistogram(fsyncBuckets...),
 		snapHist:  newHistogram(snapshotBuckets...),
+		deltaHist: newHistogram(deltaCompileBuckets...),
 		byMethod: newLabeledCounters(
 			methodKey("basic", "independent"), methodKey("basic", "integrated"),
 			methodKey("single", "independent"), methodKey("single", "integrated"),
@@ -719,6 +754,7 @@ func (s *Service) compiledFor(comp *core.Compiled, gen uint64, l, e, r []core.Pa
 	}
 	tr.End(bs, 0)
 	s.compiles.Add(1)
+	s.fullCompiles.Add(1)
 	s.mu.Lock()
 	if s.generation == gen && (s.compiled == nil || s.compiled.Generation != gen) {
 		s.compiled = c
@@ -818,6 +854,16 @@ type FactsResponse struct {
 // committed delta); only the final publish of the new slices and
 // generation takes the write lock, for a few pointer swaps and the
 // cache purge.
+//
+// When the current generation's compiled artifact exists and the
+// delta is small (Config.DeltaMaxFrac), the appender rolls it forward
+// with core.Extend — still outside every query-visible lock — and
+// publishes the extended artifact with the new generation, so the
+// queries that follow never pay a compile: amortized compile cost
+// per append drops to the delta's size. Bulk loads (delta above the
+// threshold), over-long extend chains, and a missing or stale
+// artifact fall back to the lazy path: drop the artifact and let the
+// next miss compile cold.
 func (s *Service) AppendFacts(req FactsRequest) (*FactsResponse, error) {
 	for _, set := range [][]core.Pair{req.L, req.E, req.R, req.Parent} {
 		for _, p := range set {
@@ -839,15 +885,21 @@ func (s *Service) AppendFacts(req FactsRequest) (*FactsResponse, error) {
 	}
 	s.factAppends.Add(1)
 
+	// Materialize the membership sets before taking appendMu: after a
+	// recovery of a large database the build is O(n), and under the
+	// lock it would stall this append and every one queued behind it.
+	s.ensureSets()
+
 	s.appendMu.Lock()
 	defer s.appendMu.Unlock()
-	s.ensureSets()
 	addL = dedupePending(s.lSet, addL)
 	addE = dedupePending(s.eSet, addE)
 	addR = dedupePending(s.rSet, addR)
 	added := len(addL) + len(addE) + len(addR)
 	s.mu.RLock()
 	gen := s.generation
+	comp := s.compiled
+	facts := len(s.l) + len(s.e) + len(s.r)
 	s.mu.RUnlock()
 	if added == 0 {
 		return &FactsResponse{Generation: gen}, nil
@@ -873,15 +925,23 @@ func (s *Service) AppendFacts(req FactsRequest) (*FactsResponse, error) {
 	for _, p := range addR {
 		s.rSet[p] = true
 	}
+
+	// Roll the compiled artifact to the next generation while no
+	// query-visible lock is held; appendMu alone serializes the
+	// generation bump, so comp (if current) stays current until the
+	// publish below. nil means "drop and recompile lazily".
+	next := s.rollArtifact(comp, gen, facts, added, addL, addE, addR)
+
 	s.mu.Lock()
 	s.l = appendCOW(s.l, addL)
 	s.e = appendCOW(s.e, addE)
 	s.r = appendCOW(s.r, addR)
 	s.generation++
 	gen = s.generation
-	// The compiled artifact describes the old generation; drop it so
-	// the next miss rebuilds from the new slices.
-	s.compiled = nil
+	// Either the delta-extended artifact for the new generation, or
+	// nil — the old artifact describes the old generation, so the next
+	// miss rebuilds from the new slices.
+	s.compiled = next
 	// Purge dead generations immediately: stale entries are
 	// unreachable (generation mismatch) and would otherwise sit in
 	// cache slots indefinitely, inflating mc_cache_entries and
@@ -910,10 +970,59 @@ func (s *Service) AppendFacts(req FactsRequest) (*FactsResponse, error) {
 	}, nil
 }
 
-// ensureSets materializes the membership sets from the fact slices on
-// the first append after recovery. Caller holds appendMu (the sets
-// are appender-owned state).
+// rollArtifact produces the compiled artifact to publish for the
+// generation this commit creates: the current artifact extended by
+// the deduplicated delta when delta compilation applies, nil (lazy
+// recompile on the next query miss) otherwise. Caller holds appendMu
+// — and only appendMu — so the extend runs with no query-visible
+// lock held; comp and facts were snapshotted under the same appendMu
+// hold, so a non-nil comp at the current generation cannot go stale
+// before the publish.
+//
+// Delta compilation is skipped when: it is disabled (DeltaMaxFrac <
+// 0); there is no artifact at the current generation to extend (a
+// pure append stream stays lazy until a query compiles); the delta
+// exceeds DeltaMaxFrac of the resulting database (a bulk load — the
+// aliasing win vanishes and the eager work would stall the append);
+// or the extend chain has reached maxDeltaChain (flatten by cold
+// compile rather than pin every ancestor's storage). Threshold and
+// depth skips count as fallbacks; the artifact's absence does not.
+func (s *Service) rollArtifact(comp *core.Compiled, gen uint64, facts, added int, addL, addE, addR []core.Pair) *core.Compiled {
+	if s.cfg.DeltaMaxFrac < 0 || comp == nil || comp.Generation != gen {
+		return nil
+	}
+	if frac := float64(added) / float64(facts+added); frac > s.cfg.DeltaMaxFrac || comp.DeltaDepth() >= maxDeltaChain {
+		s.deltaFallbacks.Add(1)
+		return nil
+	}
+	tr := obs.New("append", 0)
+	sp := tr.Start("delta-compile", 0)
+	started := time.Now()
+	next := comp.Extend(addL, addE, addR)
+	next.SetGeneration(gen + 1)
+	s.deltaHist.observe(time.Since(started).Seconds())
+	if sp != nil {
+		sp.Set("added", int64(added))
+		sp.Set("depth", int64(next.DeltaDepth()))
+		sp.Set("l_nodes", int64(next.NumL()))
+		sp.Set("r_nodes", int64(next.NumR()))
+	}
+	tr.End(sp, 0)
+	s.compiles.Add(1)
+	s.deltaCompiles.Add(1)
+	s.lastAppendSpan.Store(tr.Finish(0))
+	return next
+}
+
+// ensureSets materializes the membership sets from the fact slices if
+// they are still nil after a recovery. setsMu guards the build; once
+// the maps are non-nil they are never rebuilt, and from then on only
+// appendMu holders touch them. Appenders call this before taking
+// appendMu (so a large recovered database never stalls a committed
+// append for the O(n) build) and Open warms it in the background.
 func (s *Service) ensureSets() {
+	s.setsMu.Lock()
+	defer s.setsMu.Unlock()
 	if s.lSet != nil {
 		return
 	}
@@ -994,6 +1103,25 @@ type Stats struct {
 	Snapshots               int64 `json:"snapshots"`
 	SnapshotFailures        int64 `json:"snapshot_failures"`
 	RecoveryReplayedRecords int64 `json:"recovery_replayed_records"`
+	// DeltaCompile reports the incremental-compilation state (see
+	// AppendFacts and rollArtifact).
+	DeltaCompile DeltaCompileStats `json:"delta_compile"`
+}
+
+// DeltaCompileStats is the delta-compilation block of Stats.
+type DeltaCompileStats struct {
+	// DeltaCompiles and FullCompiles partition Compiles; Fallbacks
+	// counts appends that skipped the delta path on the fraction
+	// threshold or the chain-depth bound.
+	DeltaCompiles int64   `json:"delta_compiles"`
+	FullCompiles  int64   `json:"full_compiles"`
+	Fallbacks     int64   `json:"fallbacks"`
+	MaxFraction   float64 `json:"max_fraction"`
+	// ChainDepth is the current artifact's Extend depth since its last
+	// full compile (0 when cold-compiled, absent, or decoded).
+	ChainDepth int `json:"chain_depth"`
+	// LastAppend is the most recent delta-compiling append's span tree.
+	LastAppend *obs.Span `json:"last_append,omitempty"`
 }
 
 // Close marks the service closed and drains the worker pool: new
@@ -1047,6 +1175,10 @@ func (s *Service) Stats() Stats {
 	gen := s.generation
 	fl, fe, fr := len(s.l), len(s.e), len(s.r)
 	entries := len(s.cache)
+	depth := 0
+	if s.compiled != nil {
+		depth = s.compiled.DeltaDepth()
+	}
 	s.mu.RUnlock()
 	p50, p99 := s.lat.percentile(0.50), s.lat.percentile(0.99)
 	return Stats{
@@ -1077,5 +1209,14 @@ func (s *Service) Stats() Stats {
 		Snapshots:               s.snapshots.Load(),
 		SnapshotFailures:        s.snapFailures.Load(),
 		RecoveryReplayedRecords: s.recoveryReplayed.Load(),
+
+		DeltaCompile: DeltaCompileStats{
+			DeltaCompiles: s.deltaCompiles.Load(),
+			FullCompiles:  s.fullCompiles.Load(),
+			Fallbacks:     s.deltaFallbacks.Load(),
+			MaxFraction:   s.cfg.DeltaMaxFrac,
+			ChainDepth:    depth,
+			LastAppend:    s.lastAppendSpan.Load(),
+		},
 	}
 }
