@@ -1,0 +1,272 @@
+package main
+
+// The closed-loop driver: a token-bucket pacer releases operations at
+// the target rate, a bounded pool of workers pulls the next operation
+// of the deterministic schedule under a lock (so the request sequence
+// is exactly the seeded mix's, replayable from the seed alone), and
+// every response is classified, timed, and — for a sampled fraction of
+// answers — queued for end-of-run oracle verification.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"magiccounting/internal/server"
+	"magiccounting/internal/workload"
+)
+
+// client is the HTTP side: JSON in, JSON out, one latency sample per
+// call.
+type client struct {
+	base string
+	http *http.Client
+}
+
+// do issues one request and decodes a 200 body into out (when out is
+// non-nil). Transport-level failures report status 0.
+func (c *client) do(method, path string, body, out any) (status int, elapsed time.Duration, err error) {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return 0, 0, err
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		return 0, 0, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	started := time.Now()
+	resp, err := c.http.Do(req)
+	elapsed = time.Since(started)
+	if err != nil {
+		return 0, elapsed, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK && out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, elapsed, fmt.Errorf("decode %s: %w", path, err)
+		}
+	} else {
+		io.Copy(io.Discard, resp.Body)
+	}
+	return resp.StatusCode, elapsed, nil
+}
+
+// expectedStatus is the HTTP status each operation kind predicts; any
+// other status is recorded as unexpected and fails the default SLO.
+func expectedStatus(k workload.OpKind) int {
+	if k == workload.OpBadQuery {
+		return http.StatusBadRequest
+	}
+	return http.StatusOK
+}
+
+// maxChecks bounds the verification queue; past it, sampling stops
+// (the run reports how many checks it did, so a silent shortfall is
+// visible in the report's oracle block).
+const maxChecks = 5000
+
+// driver owns one soak run's mutable state. mu guards the schedule
+// (mix), the per-class samples, and the check queue; workers hold it
+// only to pull an op or record an outcome, never across a request.
+type driver struct {
+	client      *client
+	led         *ledger
+	verifyEvery int
+	verify      bool
+
+	mu         sync.Mutex
+	mix        *workload.Mix
+	ops        int
+	ms         map[string][]float64
+	statuses   map[string]map[int]int
+	unexpected []string
+	checks     []check
+}
+
+func newDriver(c *client, mix *workload.Mix, led *ledger, verifyEvery int, verify bool) *driver {
+	return &driver{
+		client:      c,
+		led:         led,
+		verifyEvery: verifyEvery,
+		verify:      verify && verifyEvery > 0,
+		mix:         mix,
+		ms:          make(map[string][]float64),
+		statuses:    make(map[string]map[int]int),
+	}
+}
+
+// next pulls the next scheduled operation.
+func (d *driver) next() workload.Op {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.mix.Next()
+}
+
+// record files one response under its class.
+func (d *driver) record(op workload.Op, status int, elapsed time.Duration, err error) {
+	class := op.Kind.String()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.ops++
+	d.ms[class] = append(d.ms[class], float64(elapsed.Microseconds())/1000)
+	if d.statuses[class] == nil {
+		d.statuses[class] = make(map[int]int)
+	}
+	d.statuses[class][status]++
+	if status != expectedStatus(op.Kind) && len(d.unexpected) < 20 {
+		detail := fmt.Sprintf("op %d %s: status %d (want %d)", op.Seq, class, status, expectedStatus(op.Kind))
+		if err != nil {
+			detail += ": " + err.Error()
+		}
+		d.unexpected = append(d.unexpected, detail)
+	}
+}
+
+// noteUnexpected records a non-status anomaly (a missing trace, a
+// failed append decode) against the run.
+func (d *driver) noteUnexpected(format string, args ...any) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.unexpected) < 20 {
+		d.unexpected = append(d.unexpected, fmt.Sprintf(format, args...))
+	}
+}
+
+// sample decides deterministically (by schedule position, so the same
+// seed checks the same answers) whether op's answer joins the
+// verification queue.
+func (d *driver) sample(op workload.Op) bool {
+	return d.verify && op.Seq%d.verifyEvery == 0
+}
+
+func (d *driver) queueCheck(c check) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.checks) < maxChecks {
+		d.checks = append(d.checks, c)
+	}
+}
+
+// execute issues one operation and files its outcome.
+func (d *driver) execute(op workload.Op) {
+	switch op.Kind {
+	case workload.OpQuery, workload.OpBadQuery:
+		req := server.QueryRequest{Source: op.Source, Strategy: op.Strategy, Mode: op.Mode, Trace: op.Trace}
+		var resp server.QueryResponse
+		status, elapsed, err := d.client.do("POST", "/v1/query", req, &resp)
+		d.record(op, status, elapsed, err)
+		if status != http.StatusOK || err != nil {
+			return
+		}
+		if op.Trace && resp.Trace == nil {
+			d.noteUnexpected("op %d query: trace requested but absent", op.Seq)
+		}
+		if d.sample(op) {
+			d.queueCheck(check{seq: op.Seq, source: op.Source, gen: resp.Generation, answers: resp.Answers})
+		}
+	case workload.OpBatch:
+		req := server.BatchRequest{Sources: op.Sources}
+		var resp server.BatchResponse
+		status, elapsed, err := d.client.do("POST", "/v1/query/batch", req, &resp)
+		d.record(op, status, elapsed, err)
+		if status != http.StatusOK || err != nil {
+			return
+		}
+		if d.sample(op) {
+			// One sampled item per batch: the first that answered. Every
+			// item shares the batch's snapshot generation.
+			for _, item := range resp.Items {
+				if item.Source != "" && item.Error == "" {
+					d.queueCheck(check{seq: op.Seq, source: item.Source, gen: resp.Generation, answers: item.Answers})
+					break
+				}
+			}
+		}
+	case workload.OpAppend:
+		req := server.FactsRequest{L: op.L, E: op.E, R: op.R}
+		var resp server.FactsResponse
+		status, elapsed, err := d.client.do("POST", "/v1/facts", req, &resp)
+		d.record(op, status, elapsed, err)
+		if status != http.StatusOK || err != nil {
+			return
+		}
+		added := resp.AddedL + resp.AddedE + resp.AddedR
+		if added != len(op.L)+len(op.E)+len(op.R) {
+			// Disjoint-by-construction appends must add every fact; a
+			// shortfall means the generator or the server dedupe is wrong,
+			// and the ledger could silently drift.
+			d.noteUnexpected("op %d append: added %d of %d facts", op.Seq, added, len(op.L)+len(op.E)+len(op.R))
+		}
+		d.led.record(resp.Generation, op.L, op.E, op.R, added)
+	case workload.OpStats:
+		var st server.Stats
+		status, elapsed, err := d.client.do("GET", "/v1/stats", nil, &st)
+		d.record(op, status, elapsed, err)
+	}
+}
+
+// run drives the load until ctx expires: a token-bucket pacer accrues
+// capacity at qps and workers block on a token before issuing each
+// request, so the offered rate is capped at qps with a small burst
+// allowance (smoothing scheduler jitter) rather than lock-stepped.
+func (d *driver) run(ctx context.Context, qps float64, workers int) {
+	burst := int(qps / 4)
+	if burst < 1 {
+		burst = 1
+	}
+	tokens := make(chan struct{}, burst)
+	go func() {
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		acc := 1.0 // one immediate token so short runs start instantly
+		last := time.Now()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case now := <-tick.C:
+				acc += qps * now.Sub(last).Seconds()
+				last = now
+				for acc >= 1 {
+					select {
+					case tokens <- struct{}{}:
+						acc--
+					default:
+						// Bucket full: drop the surplus so an idle stretch
+						// cannot bank an unbounded burst.
+						acc = 0
+					}
+				}
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tokens:
+					d.execute(d.next())
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

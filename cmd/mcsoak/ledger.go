@@ -1,0 +1,190 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"magiccounting/internal/core"
+	"magiccounting/internal/harness"
+	"magiccounting/internal/oracle"
+)
+
+// delta is the facts one append added, in the oracle's arc form.
+type delta struct {
+	l, e, r []oracle.Arc
+}
+
+// ledger is the client-side fact record, keyed by the generation each
+// append's response reports. Every generated append is disjoint from
+// all prior facts, so each successful POST /v1/facts bumps the server
+// generation by exactly one and the response's generation names this
+// delta unambiguously — however many appends were in flight at once.
+// The facts at generation g are then the union of the deltas at 1..g,
+// which is what end-of-run verification replays through the oracle:
+// answers observed at generation g are compared against the database
+// as it stood at g, so appends landing mid-flight can never cause a
+// false divergence.
+type ledger struct {
+	mu     sync.Mutex
+	deltas map[uint64]delta
+	maxGen uint64
+	// facts sums the server-reported added counts, the cross-check
+	// against the final /v1/stats fact totals.
+	facts int
+}
+
+func newLedger() *ledger {
+	return &ledger{deltas: make(map[uint64]delta)}
+}
+
+func toArcs(ps []core.Pair) []oracle.Arc {
+	out := make([]oracle.Arc, len(ps))
+	for i, p := range ps {
+		out[i] = oracle.Arc{From: p.From, To: p.To}
+	}
+	return out
+}
+
+// record stores the delta an append committed as generation gen.
+// added is the server-reported added_l+added_e+added_r.
+func (ld *ledger) record(gen uint64, l, e, r []core.Pair, added int) {
+	ld.mu.Lock()
+	defer ld.mu.Unlock()
+	ld.deltas[gen] = delta{l: toArcs(l), e: toArcs(e), r: toArcs(r)}
+	if gen > ld.maxGen {
+		ld.maxGen = gen
+	}
+	ld.facts += added
+}
+
+// factsAt accumulates the database as of generation gen. ok is false
+// when any generation in 1..gen is missing (an append whose response
+// was lost), in which case answers at gen are unverifiable rather
+// than divergent.
+func (ld *ledger) factsAt(gen uint64) (l, e, r []oracle.Arc, ok bool) {
+	ld.mu.Lock()
+	defer ld.mu.Unlock()
+	for g := uint64(1); g <= gen; g++ {
+		d, present := ld.deltas[g]
+		if !present {
+			return nil, nil, nil, false
+		}
+		l = append(l, d.l...)
+		e = append(e, d.e...)
+		r = append(r, d.r...)
+	}
+	return l, e, r, true
+}
+
+func (ld *ledger) stats() (maxGen uint64, facts int) {
+	ld.mu.Lock()
+	defer ld.mu.Unlock()
+	return ld.maxGen, ld.facts
+}
+
+// check is one sampled answer awaiting verification: the server said
+// that at generation gen, the query ?- P(source, Y) has these answers.
+type check struct {
+	seq     int
+	source  string
+	gen     uint64
+	answers []string
+}
+
+// verifyChecks replays sampled answers through the oracle: one shared
+// fixpoint per generation (oracle.Solver) answers every sampled
+// source of that generation, and the server's answer sets must match
+// exactly. It also cross-checks the server against itself first: the
+// same (generation, source) answered two different ways is a
+// divergence no oracle is needed to see. At most maxGens distinct
+// generations are verified (evenly spaced across those observed, the
+// newest always included) to bound end-of-run cost; checks in skipped
+// generations are simply not counted.
+func verifyChecks(checks []check, led *ledger, maxGens int) harness.OracleCheck {
+	oc := harness.OracleCheck{}
+	addDetail := func(d string) {
+		if len(oc.Details) < 10 {
+			oc.Details = append(oc.Details, d)
+		}
+	}
+
+	type key struct {
+		gen    uint64
+		source string
+	}
+	seen := make(map[key][]string)
+	byGen := make(map[uint64][]check)
+	for _, c := range checks {
+		k := key{c.gen, c.source}
+		if prev, ok := seen[k]; ok {
+			if !equalStrings(prev, c.answers) {
+				oc.Divergences++
+				addDetail(fmt.Sprintf("server inconsistent: gen %d source %q answered %v and %v",
+					c.gen, c.source, prev, c.answers))
+			}
+			continue // one oracle comparison per (gen, source) is enough
+		}
+		seen[k] = c.answers
+		byGen[c.gen] = append(byGen[c.gen], c)
+	}
+
+	gens := make([]uint64, 0, len(byGen))
+	for g := range byGen {
+		gens = append(gens, g)
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] < gens[j] })
+	if maxGens > 0 && len(gens) > maxGens {
+		// Evenly spaced, endpoints included: early generations catch
+		// base-instance bugs, late ones catch delta-compile drift.
+		picked := make([]uint64, 0, maxGens)
+		for i := 0; i < maxGens; i++ {
+			picked = append(picked, gens[i*(len(gens)-1)/(maxGens-1)])
+		}
+		gens = dedupeGens(picked)
+	}
+
+	for _, g := range gens {
+		l, e, r, ok := led.factsAt(g)
+		if !ok {
+			oc.Unverifiable += len(byGen[g])
+			continue
+		}
+		solve := oracle.Solver(l, e, r)
+		for _, c := range byGen[g] {
+			want := solve(c.source)
+			got := append([]string(nil), c.answers...)
+			sort.Strings(got)
+			if !equalStrings(got, want) {
+				oc.Divergences++
+				addDetail(fmt.Sprintf("op %d: gen %d source %q: server %v, oracle %v",
+					c.seq, c.gen, c.source, got, want))
+			}
+			oc.Sources++
+		}
+		oc.Generations++
+	}
+	return oc
+}
+
+func dedupeGens(gens []uint64) []uint64 {
+	out := gens[:0]
+	for i, g := range gens {
+		if i == 0 || g != out[len(out)-1] {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

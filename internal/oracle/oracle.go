@@ -225,6 +225,53 @@ func AnswersMemo(l, e, r []Arc, source string) []string {
 	return sorted(answers)
 }
 
+// Solver runs AnswersMemo's fixpoint once and returns a function
+// answering any source against it. The derivable relation is
+// source-independent, so a caller verifying many sources over one
+// database (the soak driver checks dozens of sources per generation)
+// pays for a single fixpoint instead of one per source. The returned
+// function gives the same sorted, never-nil slices as AnswersMemo.
+func Solver(l, e, r []Arc) func(source string) []string {
+	lIn := reversedAdjacency(l)
+	eOut := adjacency(e)
+	rFwd := reversedAdjacency(r)
+
+	type pair struct{ u, v string }
+	derived := make(map[pair]bool)
+	var work []pair
+	add := func(u, v string) {
+		p := pair{u, v}
+		if !derived[p] {
+			derived[p] = true
+			work = append(work, p)
+		}
+	}
+	for x, ys := range eOut {
+		for _, y := range ys {
+			add(x, y)
+		}
+	}
+	for len(work) > 0 {
+		p := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, u := range lIn[p.u] {
+			for _, v := range rFwd[p.v] {
+				add(u, v)
+			}
+		}
+	}
+	bySource := make(map[string]map[string]bool)
+	for p := range derived {
+		set := bySource[p.u]
+		if set == nil {
+			set = make(map[string]bool)
+			bySource[p.u] = set
+		}
+		set[p.v] = true
+	}
+	return func(source string) []string { return sorted(bySource[source]) }
+}
+
 func sorted(set map[string]bool) []string {
 	out := make([]string, 0, len(set))
 	for v := range set {

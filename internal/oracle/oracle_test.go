@@ -122,3 +122,22 @@ func TestDuplicateArcsAreSetSemantics(t *testing.T) {
 		t.Errorf("Answers with duplicates = %v, want %v", got, want)
 	}
 }
+
+// TestSolverAgreesWithAnswersMemo asserts the shared-fixpoint Solver
+// answers every source — known and unknown — exactly as AnswersMemo
+// does, including the never-nil contract.
+func TestSolverAgreesWithAnswersMemo(t *testing.T) {
+	l := []Arc{{"a", "b"}, {"b", "c"}, {"a", "c"}, {"c", "d"}}
+	e := []Arc{{"b", "x"}, {"c", "y"}, {"d", "z"}}
+	r := []Arc{{"p", "x"}, {"q", "y"}, {"x", "y"}, {"y", "z"}}
+	solve := Solver(l, e, r)
+	for _, src := range []string{"a", "b", "c", "d", "x", "ghost"} {
+		got, want := solve(src), AnswersMemo(l, e, r, src)
+		if got == nil {
+			t.Fatalf("Solver(%q) returned nil", src)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("Solver(%q) = %v, AnswersMemo = %v", src, got, want)
+		}
+	}
+}

@@ -205,6 +205,7 @@ func (s *Service) WriteMetrics(w io.Writer) error {
 		{"mc_delta_compiles_total", "Delta Extend builds rolling the artifact across an append.", st.DeltaCompile.DeltaCompiles},
 		{"mc_delta_fallbacks_total", "Appends that skipped the delta path (fraction threshold or chain depth).", st.DeltaCompile.Fallbacks},
 		{"mc_queries_rejected_total", "Queries fast-failed with ErrClosed during shutdown (excluded from errors and latency).", st.QueriesRejected},
+		{"mc_bad_requests_total", "Queries rejected by validation (excluded from errors and latency).", st.BadRequests},
 		{"mc_cache_hits_total", "Queries answered from the result cache.", st.CacheHits},
 		{"mc_cache_misses_total", "Queries that ran a solver.", st.CacheMisses},
 		{"mc_query_errors_total", "Queries that returned an error.", st.QueryErrors},
@@ -274,7 +275,10 @@ func (s *Service) WriteMetrics(w io.Writer) error {
 		return err
 	}
 
-	if err := s.latHist.write(w, "mc_query_duration_seconds", "Query latency histogram."); err != nil {
+	if err := s.latHist.write(w, "mc_query_duration_seconds", "Singleton query latency histogram (batches observe mc_batch_duration_seconds)."); err != nil {
+		return err
+	}
+	if err := s.batchHist.write(w, "mc_batch_duration_seconds", "Whole-batch request latency histogram."); err != nil {
 		return err
 	}
 	if err := s.retHist.write(w, "mc_query_retrievals", "Tuple retrievals charged per query (0 on cache hits)."); err != nil {

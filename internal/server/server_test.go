@@ -135,8 +135,11 @@ func TestEndToEnd(t *testing.T) {
 	if stats.CacheHits != 1 || stats.CacheMisses != 3 {
 		t.Fatalf("stats hits/misses = %d/%d, want 1/3", stats.CacheHits, stats.CacheMisses)
 	}
-	if stats.QueryErrors != 1 || stats.Generation != 2 {
-		t.Fatalf("stats errors/generation = %d/%d, want 1/2", stats.QueryErrors, stats.Generation)
+	// The empty-source 400 is a bad request, not a query error: it
+	// lands in its own counter and stays out of the latency window.
+	if stats.QueryErrors != 0 || stats.BadRequests != 1 || stats.Generation != 2 {
+		t.Fatalf("stats errors/bad/generation = %d/%d/%d, want 0/1/2",
+			stats.QueryErrors, stats.BadRequests, stats.Generation)
 	}
 	health, err := c.Get(ts.URL + "/healthz")
 	if err != nil || health.StatusCode != http.StatusOK {

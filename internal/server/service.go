@@ -175,15 +175,23 @@ type Service struct {
 	snapHist         *histogram
 
 	start time.Time
-	lat   *latencyRing
+	// lat holds singleton-query latencies; blat holds whole-batch
+	// request latencies. They are separate windows on purpose: one
+	// batch solves up to maxBatchSources items in a single wall-clock
+	// sample, so mixing the two streams would drag the query p99 up
+	// with every large batch (and bury batch regressions among the
+	// singleton samples).
+	lat  *latencyRing
+	blat *latencyRing
 
-	// latHist and retHist observe the same streams as the ring and
-	// NewRetrievals; byMethod/byRegime count successful queries over
-	// their closed key spaces (see metrics.go).
-	latHist  *histogram
-	retHist  *histogram
-	byMethod *labeledCounters
-	byRegime *labeledCounters
+	// latHist/batchHist and retHist observe the same streams as the
+	// rings and NewRetrievals; byMethod/byRegime count successful
+	// queries over their closed key spaces (see metrics.go).
+	latHist   *histogram
+	batchHist *histogram
+	retHist   *histogram
+	byMethod  *labeledCounters
+	byRegime  *labeledCounters
 
 	closed atomic.Bool
 
@@ -202,6 +210,7 @@ type Service struct {
 	batches     atomic.Int64
 	compiles    atomic.Int64
 	rejected    atomic.Int64
+	badRequests atomic.Int64
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
 	queryErrors atomic.Int64
@@ -209,6 +218,13 @@ type Service struct {
 	factAppends atomic.Int64
 	retrievals  atomic.Int64
 	traced      atomic.Int64
+
+	// inFlight counts solves currently holding a worker slot. It is
+	// tracked separately from len(sem) because Close drains the pool by
+	// filling every slot and never releasing them — after a drain,
+	// len(sem) permanently reads all-workers-busy, and during the drain
+	// it counts Close's own slots as if they were queries.
+	inFlight atomic.Int64
 }
 
 // New creates a Service with an empty database.
@@ -223,7 +239,9 @@ func New(cfg Config) *Service {
 		cache:   make(map[cacheKey]*cacheEntry),
 		start:   time.Now(),
 		lat:       newLatencyRing(cfg.LatencyWindow),
+		blat:      newLatencyRing(cfg.LatencyWindow),
 		latHist:   newHistogram(latencyBuckets...),
+		batchHist: newHistogram(latencyBuckets...),
 		retHist:   newHistogram(retrievalBuckets...),
 		fsyncHist: newHistogram(fsyncBuckets...),
 		snapHist:  newHistogram(snapshotBuckets...),
@@ -305,6 +323,44 @@ func ParseMode(s string) (core.Mode, error) {
 	return 0, fmt.Errorf("%w: unknown mode %q (want independent or integrated)", ErrBadRequest, s)
 }
 
+// parseMethod resolves a request's method selection: an empty strategy
+// selects automatically (mode must then be empty too); an explicit
+// strategy defaults to integrated mode. Shared by the singleton and
+// batch paths so the two cannot drift.
+func parseMethod(strategy, mode string) (st core.Strategy, md core.Mode, auto bool, err error) {
+	auto = strategy == ""
+	if auto {
+		if mode != "" {
+			return 0, 0, false, fmt.Errorf("%w: mode %q given without a strategy (omit both for automatic selection)", ErrBadRequest, mode)
+		}
+		return 0, 0, true, nil
+	}
+	if st, err = ParseStrategy(strategy); err != nil {
+		return 0, 0, false, err
+	}
+	md = core.Integrated
+	if mode != "" {
+		if md, err = ParseMode(mode); err != nil {
+			return 0, 0, false, err
+		}
+	}
+	return st, md, false, nil
+}
+
+// validateQuery is parseMethod plus the source check, under a
+// "validate" span closed on every path. The deferred End matters:
+// early error returns used to leave the span open, so anything started
+// afterwards on the same trace would nest under a stage that had
+// already failed, corrupting the span tree.
+func validateQuery(tr *obs.Trace, source, strategy, mode string) (st core.Strategy, md core.Mode, auto bool, err error) {
+	vs := tr.Start("validate", 0)
+	defer tr.End(vs, 0)
+	if source == "" {
+		return 0, 0, false, fmt.Errorf("%w: empty source", ErrBadRequest)
+	}
+	return parseMethod(strategy, mode)
+}
+
 // Query answers req, consulting the result cache first. The run is
 // bounded by ctx, by req.TimeoutM, and by the service default
 // timeout, whichever is tightest, and by a worker-pool slot.
@@ -318,6 +374,16 @@ func (s *Service) Query(ctx context.Context, req QueryRequest) (*QueryResponse, 
 		// latencies as samples) would skew both metrics during every
 		// deploy. They get their own counter instead.
 		s.rejected.Add(1)
+		return nil, err
+	}
+	if errors.Is(err, ErrBadRequest) {
+		// Validation failures never reach a solver, so their
+		// sub-microsecond turnaround is not a query latency: one client
+		// sending garbage would drag p50 toward zero and inflate
+		// mc_query_errors_total with failures that say nothing about
+		// the serving path. They mirror the ErrClosed treatment: their
+		// own counter, no latency sample.
+		s.badRequests.Add(1)
 		return nil, err
 	}
 	elapsed := time.Since(started)
@@ -351,28 +417,10 @@ func (s *Service) query(ctx context.Context, req QueryRequest) (*QueryResponse, 
 		tr = obs.New("query", 0)
 	}
 
-	vs := tr.Start("validate", 0)
-	if req.Source == "" {
-		return nil, fmt.Errorf("%w: empty source", ErrBadRequest)
+	strategy, mode, auto, err := validateQuery(tr, req.Source, req.Strategy, req.Mode)
+	if err != nil {
+		return nil, err
 	}
-	auto := req.Strategy == ""
-	var strategy core.Strategy
-	var mode core.Mode
-	var err error
-	if !auto {
-		if strategy, err = ParseStrategy(req.Strategy); err != nil {
-			return nil, err
-		}
-		mode = core.Integrated
-		if req.Mode != "" {
-			if mode, err = ParseMode(req.Mode); err != nil {
-				return nil, err
-			}
-		}
-	} else if req.Mode != "" {
-		return nil, fmt.Errorf("%w: mode %q given without a strategy (omit both for automatic selection)", ErrBadRequest, req.Mode)
-	}
-	tr.End(vs, 0)
 
 	timeout := s.cfg.DefaultTimeout
 	if req.TimeoutM > 0 {
@@ -390,10 +438,16 @@ func (s *Service) query(ctx context.Context, req QueryRequest) (*QueryResponse, 
 			// Close is draining the pool; hand the slot straight back
 			// rather than holding it until our deadline.
 			<-s.sem
+			tr.End(as, 0)
 			return nil, ErrClosed
 		}
-		defer func() { <-s.sem }()
+		s.inFlight.Add(1)
+		defer func() {
+			s.inFlight.Add(-1)
+			<-s.sem
+		}()
 	case <-ctx.Done():
+		tr.End(as, 0)
 		return nil, ctx.Err()
 	}
 	tr.End(as, 0)
@@ -555,22 +609,9 @@ func (s *Service) QueryBatch(ctx context.Context, req BatchRequest) (*BatchRespo
 	if len(req.Sources) > maxBatchSources {
 		return nil, fmt.Errorf("%w: %d sources exceed the batch limit of %d", ErrBadRequest, len(req.Sources), maxBatchSources)
 	}
-	auto := req.Strategy == ""
-	var strategy core.Strategy
-	var mode core.Mode
-	var err error
-	if !auto {
-		if strategy, err = ParseStrategy(req.Strategy); err != nil {
-			return nil, err
-		}
-		mode = core.Integrated
-		if req.Mode != "" {
-			if mode, err = ParseMode(req.Mode); err != nil {
-				return nil, err
-			}
-		}
-	} else if req.Mode != "" {
-		return nil, fmt.Errorf("%w: mode %q given without a strategy (omit both for automatic selection)", ErrBadRequest, req.Mode)
+	strategy, mode, auto, err := parseMethod(req.Strategy, req.Mode)
+	if err != nil {
+		return nil, err
 	}
 	s.queries.Add(int64(len(req.Sources)))
 
@@ -601,7 +642,10 @@ func (s *Service) QueryBatch(ctx context.Context, req BatchRequest) (*BatchRespo
 	for i, src := range req.Sources {
 		items[i] = BatchItem{Source: src, Auto: auto, Answers: []string{}}
 		if src == "" {
-			s.queryErrors.Add(1)
+			// A validation failure, not a query failure — counted with
+			// the singleton path's bad requests so mc_query_errors_total
+			// only ever reports solves that went wrong.
+			s.badRequests.Add(1)
 			items[i].Error = "empty source"
 			continue
 		}
@@ -649,7 +693,11 @@ func (s *Service) QueryBatch(ctx context.Context, req BatchRequest) (*BatchRespo
 					items[i].Error = ErrClosed.Error()
 					return
 				}
-				defer func() { <-s.sem }()
+				s.inFlight.Add(1)
+				defer func() {
+					s.inFlight.Add(-1)
+					<-s.sem
+				}()
 			case <-ctx.Done():
 				s.queryErrors.Add(1)
 				if errors.Is(ctx.Err(), context.DeadlineExceeded) {
@@ -707,13 +755,23 @@ func (s *Service) QueryBatch(ctx context.Context, req BatchRequest) (*BatchRespo
 	wg.Wait()
 
 	// Fold duplicates onto their first occurrence's outcome, and store
-	// the fresh results under one lock.
+	// the fresh results under one lock. Every folded item is still one
+	// query of the batch, so its outcome is counted like the original's
+	// — a successful fold as a cache hit (it was answered without a
+	// solve), a folded failure under the matching failure counter —
+	// keeping queries == hits + misses + errors + rejected + bad exact.
 	for i, src := range req.Sources {
 		if j, ok := first[src]; ok && j != i {
 			items[i] = items[j]
-			if items[i].Error == "" {
+			switch {
+			case items[i].Error == "":
 				items[i].Cached = true
 				items[i].NewRetrievals = 0
+				s.cacheHits.Add(1)
+			case items[i].Error == ErrClosed.Error():
+				s.rejected.Add(1)
+			default:
+				s.queryErrors.Add(1)
 			}
 		}
 	}
@@ -725,9 +783,12 @@ func (s *Service) QueryBatch(ctx context.Context, req BatchRequest) (*BatchRespo
 	}
 	s.mu.Unlock()
 
+	// One whole-batch wall-time sample into the batch window only:
+	// recording it beside the singleton samples would inflate the query
+	// p99 in proportion to batch size.
 	elapsed := time.Since(started)
-	s.lat.record(elapsed)
-	s.latHist.observe(elapsed.Seconds())
+	s.blat.record(elapsed)
+	s.batchHist.observe(elapsed.Seconds())
 	return &BatchResponse{
 		Items:      items,
 		Generation: gen,
@@ -1084,6 +1145,7 @@ type Stats struct {
 	BatchRequests   int64   `json:"batch_requests"`
 	Compiles        int64   `json:"compiles"`
 	QueriesRejected int64   `json:"queries_rejected"`
+	BadRequests     int64   `json:"bad_requests"`
 	CacheHits       int64   `json:"cache_hits"`
 	CacheMisses     int64   `json:"cache_misses"`
 	CacheEntries    int     `json:"cache_entries"`
@@ -1096,6 +1158,10 @@ type Stats struct {
 	InFlight        int     `json:"in_flight"`
 	LatencyP50MS    float64 `json:"latency_p50_ms"`
 	LatencyP99MS    float64 `json:"latency_p99_ms"`
+	// BatchLatency* are whole-batch request latencies, windowed
+	// separately from the singleton percentiles above.
+	BatchLatencyP50MS float64 `json:"batch_latency_p50_ms"`
+	BatchLatencyP99MS float64 `json:"batch_latency_p99_ms"`
 	// Durable reports whether a durable store is open; the remaining
 	// fields are zero on a memory-only service.
 	Durable                 bool  `json:"durable"`
@@ -1181,6 +1247,7 @@ func (s *Service) Stats() Stats {
 	}
 	s.mu.RUnlock()
 	p50, p99 := s.lat.percentile(0.50), s.lat.percentile(0.99)
+	bp50, bp99 := s.blat.percentile(0.50), s.blat.percentile(0.99)
 	return Stats{
 		UptimeSeconds:   time.Since(s.start).Seconds(),
 		Generation:      gen,
@@ -1191,6 +1258,7 @@ func (s *Service) Stats() Stats {
 		BatchRequests:   s.batches.Load(),
 		Compiles:        s.compiles.Load(),
 		QueriesRejected: s.rejected.Load(),
+		BadRequests:     s.badRequests.Load(),
 		CacheHits:       s.cacheHits.Load(),
 		CacheMisses:     s.cacheMisses.Load(),
 		CacheEntries:    entries,
@@ -1200,9 +1268,12 @@ func (s *Service) Stats() Stats {
 		TupleRetrievals: s.retrievals.Load(),
 		TracedQueries:   s.traced.Load(),
 		Workers:         s.cfg.Workers,
-		InFlight:        len(s.sem),
+		InFlight:        int(s.inFlight.Load()),
 		LatencyP50MS:    float64(p50.Microseconds()) / 1000,
 		LatencyP99MS:    float64(p99.Microseconds()) / 1000,
+
+		BatchLatencyP50MS: float64(bp50.Microseconds()) / 1000,
+		BatchLatencyP99MS: float64(bp99.Microseconds()) / 1000,
 
 		Durable:                 s.dur != nil,
 		WALAppends:              s.walAppends.Load(),
