@@ -160,6 +160,8 @@ func run(args []string, stdout io.Writer, ready chan<- net.Addr) error {
 	fsyncInterval := fs.Duration("fsync-interval", 100*time.Millisecond, "background sync period under -fsync interval")
 	snapshotEvery := fs.Int("snapshot-every", 50_000, "snapshot once this many facts have been appended since the last one (0 = only on shutdown)")
 	deltaMaxFrac := fs.Float64("delta-max-frac", 0.25, "delta-compile appends up to this fraction of the database; larger appends recompile lazily (negative disables delta compilation)")
+	maxResident := fs.Int("max-resident-compiled", 8, "collapse the delta chain once it pins this many compiled generations (negative disables the cap)")
+	maxCompiledBytes := fs.Int64("max-compiled-bytes", 256<<20, "collapse the delta chain once its pinned-bytes estimate crosses this (negative disables the byte trigger)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -176,6 +178,9 @@ func run(args []string, stdout io.Writer, ready chan<- net.Addr) error {
 		FsyncInterval:  *fsyncInterval,
 		SnapshotEvery:  *snapshotEvery,
 		DeltaMaxFrac:   *deltaMaxFrac,
+
+		MaxResidentCompiled: *maxResident,
+		MaxCompiledBytes:    *maxCompiledBytes,
 	})
 	if *dataDir != "" {
 		// Recover before listening: a port that answers implies a

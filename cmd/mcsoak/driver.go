@@ -17,15 +17,31 @@ import (
 	"sync"
 	"time"
 
+	"magiccounting/internal/harness"
 	"magiccounting/internal/server"
 	"magiccounting/internal/workload"
 )
 
 // client is the HTTP side: JSON in, JSON out, one latency sample per
-// call.
+// call. base is mutex-guarded because fault injection restarts the
+// child server on a fresh port mid-run and repoints every worker at
+// it with setBase.
 type client struct {
+	mu   sync.RWMutex
 	base string
 	http *http.Client
+}
+
+func (c *client) baseURL() string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.base
+}
+
+func (c *client) setBase(base string) {
+	c.mu.Lock()
+	c.base = base
+	c.mu.Unlock()
 }
 
 // do issues one request and decodes a 200 body into out (when out is
@@ -39,7 +55,7 @@ func (c *client) do(method, path string, body, out any) (status int, elapsed tim
 		}
 		rd = bytes.NewReader(data)
 	}
-	req, err := http.NewRequest(method, c.base+path, rd)
+	req, err := http.NewRequest(method, c.baseURL()+path, rd)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -86,6 +102,14 @@ type driver struct {
 	verifyEvery int
 	verify      bool
 
+	// gate pauses the load during a kill/restart cycle: workers hold
+	// it shared around each operation, and the kill controller takes
+	// it exclusively — so acquiring the write side means every
+	// in-flight request has drained and no new one starts until the
+	// restarted child is verified. Uncontended (the no-fault-injection
+	// case) it costs one atomic RLock per op.
+	gate sync.RWMutex
+
 	mu         sync.Mutex
 	mix        *workload.Mix
 	ops        int
@@ -93,6 +117,12 @@ type driver struct {
 	statuses   map[string]map[int]int
 	unexpected []string
 	checks     []check
+	// recoveries and recoveryFailures are the fault-injection record:
+	// completed kill/restart cycles, and boundary checks that failed.
+	recoveries       int
+	recoveryFailures []string
+	// memSamples is the periodic /v1/stats memory scrape record.
+	memSamples []harness.MemorySample
 }
 
 func newDriver(c *client, mix *workload.Mix, led *ledger, verifyEvery int, verify bool) *driver {
@@ -263,7 +293,12 @@ func (d *driver) run(ctx context.Context, qps float64, workers int) {
 				case <-ctx.Done():
 					return
 				case <-tokens:
+					// Shared gate: blocks while a kill/restart cycle holds
+					// the write side, so no request races the dead or
+					// half-recovered child.
+					d.gate.RLock()
 					d.execute(d.next())
+					d.gate.RUnlock()
 				}
 			}
 		}()

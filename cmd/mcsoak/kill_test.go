@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"magiccounting/internal/harness"
+)
+
+// TestSoakKillMode runs the full fault-injection path end to end: it
+// builds a real mcserved, hands it to mcsoak as -child-bin, and lets
+// the kill controller SIGKILL and restart it mid-soak. The run must
+// pass — zero oracle divergences, zero recovery failures — with at
+// least one completed kill/restart cycle, proving acked appends
+// survive the boundary and post-restart answers still match the
+// oracle.
+func TestSoakKillMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills a real server binary")
+	}
+	bin := filepath.Join(t.TempDir(), "mcserved")
+	build := exec.Command("go", "build", "-o", bin, "../mcserved")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("go build: %v", err)
+	}
+
+	reportPath := filepath.Join(t.TempDir(), "report.json")
+	var out bytes.Buffer
+	err := run([]string{
+		"-child-bin", bin,
+		"-child-data-dir", t.TempDir(),
+		"-kill-every", "1200ms",
+		"-min-recoveries", "1",
+		"-duration", "4s",
+		"-qps", "150",
+		"-workers", "8",
+		"-seed", "11",
+		"-verify-every", "4",
+		"-mem-sample-every", "250ms",
+		"-report", reportPath,
+	}, &out)
+	if err != nil {
+		t.Fatalf("kill-mode soak failed: %v\noutput:\n%s", err, out.String())
+	}
+
+	data, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep harness.SoakReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Fatalf("report not passing: %s", data)
+	}
+	if rep.Recoveries < 1 {
+		t.Fatalf("no kill/restart cycles completed: %s", data)
+	}
+	if len(rep.RecoveryFailures) != 0 {
+		t.Fatalf("recovery failures: %v", rep.RecoveryFailures)
+	}
+	if rep.Oracle.Divergences != 0 || rep.Oracle.Sources == 0 {
+		t.Fatalf("oracle block wrong across recovery boundaries: %+v", rep.Oracle)
+	}
+	if rep.Memory == nil || rep.Memory.Samples == 0 {
+		t.Fatalf("memory sampler recorded nothing: %s", data)
+	}
+}

@@ -134,15 +134,7 @@ func verifyChecks(checks []check, led *ledger, maxGens int) harness.OracleCheck 
 		gens = append(gens, g)
 	}
 	sort.Slice(gens, func(i, j int) bool { return gens[i] < gens[j] })
-	if maxGens > 0 && len(gens) > maxGens {
-		// Evenly spaced, endpoints included: early generations catch
-		// base-instance bugs, late ones catch delta-compile drift.
-		picked := make([]uint64, 0, maxGens)
-		for i := 0; i < maxGens; i++ {
-			picked = append(picked, gens[i*(len(gens)-1)/(maxGens-1)])
-		}
-		gens = dedupeGens(picked)
-	}
+	gens = pickGens(gens, maxGens)
 
 	for _, g := range gens {
 		l, e, r, ok := led.factsAt(g)
@@ -165,6 +157,29 @@ func verifyChecks(checks []check, led *ledger, maxGens int) harness.OracleCheck 
 		oc.Generations++
 	}
 	return oc
+}
+
+// pickGens bounds the sorted generation list to maxGens entries,
+// evenly spaced with both endpoints pinned: early generations catch
+// base-instance bugs, and the last generation — the one a
+// crash-recovery boundary lands on — must never be skipped. The pin
+// is explicit rather than trusted to the spacing arithmetic: the old
+// formula divided by maxGens-1, which both panicked at maxGens==1 and
+// made the endpoint guarantee an accident of integer truncation
+// instead of a stated contract.
+func pickGens(gens []uint64, maxGens int) []uint64 {
+	if maxGens <= 0 || len(gens) <= maxGens {
+		return gens
+	}
+	if maxGens == 1 {
+		return gens[len(gens)-1:]
+	}
+	picked := make([]uint64, 0, maxGens)
+	for i := 0; i < maxGens-1; i++ {
+		picked = append(picked, gens[i*(len(gens)-1)/(maxGens-1)])
+	}
+	picked = append(picked, gens[len(gens)-1])
+	return dedupeGens(picked)
 }
 
 func dedupeGens(gens []uint64) []uint64 {

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func seqGens(n int) []uint64 {
+	gens := make([]uint64, n)
+	for i := range gens {
+		gens[i] = uint64(i + 1)
+	}
+	return gens
+}
+
+// TestPickGens pins the sampling contract: at most maxGens generations,
+// evenly spaced, and the last generation — the one recovery boundaries
+// land on — is always included.
+func TestPickGens(t *testing.T) {
+	cases := []struct {
+		name    string
+		gens    []uint64
+		maxGens int
+		want    []uint64
+	}{
+		{"nil passthrough", nil, 5, nil},
+		{"under cap passthrough", seqGens(3), 5, []uint64{1, 2, 3}},
+		{"at cap passthrough", seqGens(5), 5, []uint64{1, 2, 3, 4, 5}},
+		{"cap disabled", seqGens(10), 0, seqGens(10)},
+		{"cap one keeps only last", seqGens(10), 1, []uint64{10}},
+		{"cap two keeps both ends", seqGens(10), 2, []uint64{1, 10}},
+		{"even split", seqGens(9), 5, []uint64{1, 3, 5, 7, 9}},
+		// 100 generations at cap 7: stride doesn't divide evenly, the
+		// old formula truncated past the end and dropped generation 100.
+		{"uneven split pins last", seqGens(100), 7, []uint64{1, 17, 34, 50, 67, 83, 100}},
+		{"two gens cap one", []uint64{4, 9}, 1, []uint64{9}},
+		{"sparse gens", []uint64{2, 30, 31, 90}, 3, []uint64{2, 30, 90}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := pickGens(tc.gens, tc.maxGens)
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("pickGens(%v, %d) = %v, want %v", tc.gens, tc.maxGens, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestPickGensAlwaysKeepsLast sweeps sizes and caps: whatever the
+// shape, the newest generation survives and the cap holds.
+func TestPickGensAlwaysKeepsLast(t *testing.T) {
+	for n := 1; n <= 60; n++ {
+		for maxGens := 1; maxGens <= 12; maxGens++ {
+			gens := seqGens(n)
+			got := pickGens(gens, maxGens)
+			if len(got) == 0 || got[len(got)-1] != uint64(n) {
+				t.Fatalf("n=%d maxGens=%d: last generation dropped: %v", n, maxGens, got)
+			}
+			if len(got) > maxGens {
+				t.Fatalf("n=%d maxGens=%d: cap exceeded: %v", n, maxGens, got)
+			}
+			for i := 1; i < len(got); i++ {
+				if got[i] <= got[i-1] {
+					t.Fatalf("n=%d maxGens=%d: not strictly increasing: %v", n, maxGens, got)
+				}
+			}
+		}
+	}
+}

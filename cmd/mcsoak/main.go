@@ -37,6 +37,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"magiccounting/internal/harness"
@@ -72,6 +73,13 @@ func run(args []string, stdout io.Writer) error {
 	bulkEvery := fs.Int("bulk-every", 10, "every Nth append is bulk (overshoots the delta threshold); 0 disables")
 	maxFacts := fs.Int("max-facts", 10000, "soft cap on database growth")
 	allowDirty := fs.Bool("allow-dirty", false, "accept a non-empty server; disables oracle verification and ledger cross-checks")
+	childBin := fs.String("child-bin", "", "mcserved binary to spawn and own (required for -kill-every; overrides -addr)")
+	childDataDir := fs.String("child-data-dir", "", "data directory for the owned child (empty = a fresh temp dir)")
+	killEvery := fs.Duration("kill-every", 0, "SIGKILL and restart the owned child this often (0 disables; needs -child-bin)")
+	minRecoveries := fs.Int("min-recoveries", 0, "fail unless at least this many kill/restart cycles completed")
+	memSampleEvery := fs.Duration("mem-sample-every", time.Second, "period of the /v1/stats memory scrape (0 disables)")
+	heapGrowthFrac := fs.Float64("heap-growth-frac", 0, "fail if the late-run heap watermark exceeds the mid-run one by this fraction (0 disables)")
+	maxCompiledBytes := fs.Int64("max-compiled-bytes", 0, "fail if the resident compiled-artifact estimate ever exceeds this (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -83,8 +91,42 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 	}
+	// Memory and fault-injection ceilings come from flags (they
+	// describe this run's shape), layered over whichever latency spec
+	// is in force.
+	if *heapGrowthFrac > 0 {
+		spec.MaxHeapGrowthFrac = *heapGrowthFrac
+	}
+	if *maxCompiledBytes > 0 {
+		spec.MaxCompiledBytes = *maxCompiledBytes
+	}
+	if *minRecoveries > 0 {
+		spec.MinRecoveries = *minRecoveries
+	}
 
-	c := &client{base: "http://" + *addr, http: &http.Client{Timeout: 60 * time.Second}}
+	if *killEvery > 0 && *childBin == "" {
+		return fmt.Errorf("-kill-every needs -child-bin (mcsoak must own the process it kills)")
+	}
+	var child *childServer
+	target := "http://" + *addr
+	if *childBin != "" {
+		dir := *childDataDir
+		if dir == "" {
+			var err error
+			if dir, err = os.MkdirTemp("", "mcsoak-child-*"); err != nil {
+				return err
+			}
+			defer os.RemoveAll(dir)
+		}
+		child = &childServer{bin: *childBin, dataDir: dir}
+		if err := child.start(); err != nil {
+			return err
+		}
+		defer child.terminate()
+		target = "http://" + child.addr
+	}
+
+	c := &client{base: target, http: &http.Client{Timeout: 60 * time.Second}}
 	verify, err := preflight(c, *allowDirty)
 	if err != nil {
 		return err
@@ -114,13 +156,15 @@ func run(args []string, stdout io.Writer) error {
 	}
 	led.record(seedResp.Generation, base.L, base.E, base.R, seedResp.AddedL+seedResp.AddedE+seedResp.AddedR)
 
-	fmt.Fprintf(stdout, "mcsoak: soaking %s for %s at %g qps (seed %d, %d workers, verify=%v)\n",
-		*addr, *duration, *qps, *seed, *workers, verify)
+	fmt.Fprintf(stdout, "mcsoak: soaking %s for %s at %g qps (seed %d, %d workers, verify=%v, kill-every=%s)\n",
+		strings.TrimPrefix(target, "http://"), *duration, *qps, *seed, *workers, verify, killEvery)
 	d := newDriver(c, mix, led, *verifyEvery, verify)
 	ctx, cancel := context.WithTimeout(context.Background(), *duration)
 	defer cancel()
 	started := time.Now()
+	waitAux := d.runAux(ctx, started, child, *killEvery, *memSampleEvery)
 	d.run(ctx, *qps, *workers)
+	waitAux()
 	elapsed := time.Since(started).Seconds()
 
 	// The load has fully drained (every worker returned), so the final
@@ -138,12 +182,17 @@ func run(args []string, stdout io.Writer) error {
 		rep.Classes[class] = harness.MakeClassStats(ms, d.statuses[class])
 	}
 	rep.UnexpectedStatuses = d.unexpected
+	rep.Recoveries = d.recoveries
+	rep.RecoveryFailures = d.recoveryFailures
+	if len(d.memSamples) > 0 {
+		rep.Memory = harness.MakeMemoryCheck(d.memSamples)
+	}
 
 	var finalStats server.Stats
 	if status, _, err := c.do("GET", "/v1/stats", nil, &finalStats); err != nil || status != http.StatusOK {
 		return fmt.Errorf("final stats scrape: status %d, err %v", status, err)
 	}
-	req, err := http.NewRequest("GET", c.base+"/metrics", nil)
+	req, err := http.NewRequest("GET", c.baseURL()+"/metrics", nil)
 	if err != nil {
 		return err
 	}

@@ -278,6 +278,83 @@ func TestSnapshotRoundtripAndGC(t *testing.T) {
 	}
 }
 
+// TestRotateCrashKeepsSealedSegments: a crash in the window between
+// Rotate (which seals the active segment and names the GC floor) and
+// WriteSnapshot (which would persist the state those segments encode)
+// must lose nothing. The sealed segment is not covered by any
+// snapshot, so recovery has to replay it — and neither recovery nor a
+// later snapshot at a fresh floor may delete records that only the
+// log holds.
+func TestRotateCrashKeepsSealedSegments(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := mustOpen(t, dir, Options{Fsync: FsyncAlways})
+	appendAll(t, st, mkRecord(1, 2), mkRecord(2, 2))
+	floor, err := st.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Writes land in the new active segment; the sealed one now holds
+	// gens 1-2 and nothing else references them.
+	appendAll(t, st, mkRecord(3, 2))
+	// Crash: no WriteSnapshot, no Close. FsyncAlways means every
+	// acknowledged append above is already on stable storage.
+
+	paths, seqs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("expected 2 segments (sealed + active), got %d", len(paths))
+	}
+	if seqs[1] != floor {
+		t.Fatalf("active segment seq %d, Rotate reported floor %d", seqs[1], floor)
+	}
+
+	st2, info := mustOpen(t, dir, Options{Fsync: FsyncAlways})
+	if info.SnapshotLoaded {
+		t.Fatal("no snapshot was ever written")
+	}
+	if info.Generation != 3 || info.ReplayedRecords != 3 {
+		t.Fatalf("recovered gen %d, %d records; want 3, 3", info.Generation, info.ReplayedRecords)
+	}
+	if info.ReplayedSegments != 2 || info.DroppedSegments != 0 || info.TruncatedBytes != 0 {
+		t.Fatalf("recovery touched sealed segments: %+v", info)
+	}
+	after, _, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(paths) {
+		t.Fatalf("recovery changed segment count: %d -> %d", len(paths), len(after))
+	}
+
+	// The interrupted checkpoint retries from scratch: a fresh Rotate
+	// names a fresh floor, and only then may the old segments go.
+	appendAll(t, st2, mkRecord(4, 1))
+	floor2, err := st2.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, e, r := info.L, info.E, info.R
+	rec4 := mkRecord(4, 1)
+	l = append(append([]core.Pair{}, l...), rec4.L...)
+	e = append(append([]core.Pair{}, e...), rec4.E...)
+	r = append(append([]core.Pair{}, r...), rec4.R...)
+	if err := st2.WriteSnapshot(Snapshot{Gen: 4, L: l, E: e, R: r}, floor2); err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, info2 := mustOpen(t, dir, Options{})
+	if info2.Generation != 4 || info2.ReplayedRecords != 0 || !info2.SnapshotLoaded {
+		t.Fatalf("post-checkpoint recovery: %+v", info2)
+	}
+	if got := len(info2.L) + len(info2.E) + len(info2.R); got != len(l)+len(e)+len(r) {
+		t.Fatalf("post-checkpoint facts: %d, want %d", got, len(l)+len(e)+len(r))
+	}
+}
+
 // TestSnapshotFallback: a corrupt newest snapshot falls back to the
 // previous one plus a longer replay.
 func TestSnapshotFallback(t *testing.T) {

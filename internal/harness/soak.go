@@ -37,6 +37,21 @@ type SLOSpec struct {
 	MaxDivergences         int                 `json:"max_divergences"`
 	MaxUnexpectedStatuses  int                 `json:"max_unexpected_statuses"`
 	MaxInvariantViolations int                 `json:"max_invariant_violations"`
+	// MaxHeapGrowthFrac is the heap-watermark ceiling: the late-run
+	// heap-in-use watermark may exceed the mid-run watermark by at
+	// most this fraction (0.25 = 25% growth). Mid vs late (rather than
+	// start vs end) skips the warm-up ramp, so what the rule catches
+	// is monotonic growth in steady state — the leak signature. Zero
+	// disables the rule; it also needs memory samples in the report.
+	MaxHeapGrowthFrac float64 `json:"max_heap_growth_frac,omitempty"`
+	// MaxCompiledBytes caps the resident compiled-artifact estimate
+	// observed at any sample. Zero disables.
+	MaxCompiledBytes int64 `json:"max_compiled_bytes,omitempty"`
+	// MinRecoveries is the floor on kill/restart cycles a
+	// fault-injection run must complete (each one verified across the
+	// boundary); a run configured to inject faults that never did is a
+	// vacuous pass. Zero disables.
+	MinRecoveries int `json:"min_recoveries,omitempty"`
 }
 
 // DefaultSLO is the ceiling set the CI smoke job runs under: generous
@@ -168,6 +183,21 @@ var invariants = []invariant{
 		n := get("mc_snapshot_failures_total")
 		return n == 0, fmt.Sprintf("failures=%g", n)
 	}},
+	{"chain collapses <= delta compiles", func(get func(string) float64) (bool, string) {
+		c, d := get("mc_chain_collapses_total"), get("mc_delta_compiles_total")
+		return c <= d, fmt.Sprintf("collapses=%g delta=%g", c, d)
+	}},
+	{"resident compiled within configured cap", func(get func(string) float64) (bool, string) {
+		// mc_resident_compiled is DeltaDepth+1, and the collapse fires
+		// when a fresh extend reaches the cap — so depth stays < cap and
+		// resident stays <= cap. A cap of 0 in the scrape means the
+		// server disabled it (negative config); nothing to assert.
+		r, limit := get("mc_resident_compiled"), get("mc_max_resident_compiled")
+		if limit <= 0 {
+			return true, "cap disabled"
+		}
+		return r <= limit, fmt.Sprintf("resident=%g cap=%g", r, limit)
+	}},
 }
 
 // CheckInvariants evaluates every metric-consistency rule against a
@@ -239,6 +269,61 @@ type OracleCheck struct {
 	Details      []string `json:"details,omitempty"`
 }
 
+// MemorySample is one periodic scrape of the server's /v1/stats
+// memory block during a soak.
+type MemorySample struct {
+	ElapsedSeconds   float64 `json:"elapsed_seconds"`
+	HeapInuseBytes   int64   `json:"heap_inuse_bytes"`
+	CompiledBytes    int64   `json:"compiled_bytes"`
+	ResidentCompiled int     `json:"resident_compiled"`
+}
+
+// MemoryCheck folds a soak's memory samples into the watermarks the
+// SLO rules compare: HeapMidBytes is the peak heap over the second
+// quarter of samples (past warm-up, before any late-run growth),
+// HeapLateBytes the peak over the final quarter. A leak shows as late
+// well above mid; a bounded server holds them within the allowed
+// fraction of each other.
+type MemoryCheck struct {
+	Samples          int   `json:"samples"`
+	HeapMidBytes     int64 `json:"heap_mid_bytes"`
+	HeapLateBytes    int64 `json:"heap_late_bytes"`
+	CompiledMaxBytes int64 `json:"compiled_max_bytes"`
+	ResidentMax      int   `json:"resident_max"`
+}
+
+// MakeMemoryCheck computes the watermarks from raw samples. Fewer
+// than 8 samples (the windows would be 1-2 points of GC noise)
+// returns a check with only Samples set; Evaluate treats that as "no
+// memory data" when a heap rule is armed.
+func MakeMemoryCheck(samples []MemorySample) *MemoryCheck {
+	mc := &MemoryCheck{Samples: len(samples)}
+	for _, s := range samples {
+		if s.CompiledBytes > mc.CompiledMaxBytes {
+			mc.CompiledMaxBytes = s.CompiledBytes
+		}
+		if s.ResidentCompiled > mc.ResidentMax {
+			mc.ResidentMax = s.ResidentCompiled
+		}
+	}
+	n := len(samples)
+	if n < 8 {
+		return mc
+	}
+	peak := func(lo, hi int) int64 {
+		var p int64
+		for _, s := range samples[lo:hi] {
+			if s.HeapInuseBytes > p {
+				p = s.HeapInuseBytes
+			}
+		}
+		return p
+	}
+	mc.HeapMidBytes = peak(n/4, n/2)
+	mc.HeapLateBytes = peak(3*n/4, n)
+	return mc
+}
+
 // SoakReport is the full outcome of one soak run, written as JSON for
 // CI artifacts and rendered as a summary for humans. Pass is set by
 // Evaluate.
@@ -256,6 +341,14 @@ type SoakReport struct {
 	UnexpectedStatuses []string `json:"unexpected_statuses,omitempty"`
 	// InvariantViolations is CheckInvariants over the final scrape.
 	InvariantViolations []string `json:"invariant_violations,omitempty"`
+	// Recoveries counts completed kill/restart cycles under fault
+	// injection; RecoveryFailures lists boundary checks that failed
+	// (a restart that lost generations, a child that never came back).
+	Recoveries       int      `json:"recoveries,omitempty"`
+	RecoveryFailures []string `json:"recovery_failures,omitempty"`
+	// Memory is the folded memory-sample record (nil when the run did
+	// not sample).
+	Memory *MemoryCheck `json:"memory,omitempty"`
 	// SLOViolations and Pass are filled by Evaluate.
 	SLOViolations []string `json:"slo_violations,omitempty"`
 	Pass          bool     `json:"pass"`
@@ -298,6 +391,33 @@ func (r *SoakReport) Evaluate(spec SLOSpec) {
 	if n := len(r.InvariantViolations); n > spec.MaxInvariantViolations {
 		r.SLOViolations = append(r.SLOViolations,
 			fmt.Sprintf("%d metric-invariant violations exceed the allowed %d", n, spec.MaxInvariantViolations))
+	}
+	// Recovery rules: any failed boundary check fails the run outright,
+	// and a fault-injection spec demands its minimum cycle count.
+	for _, f := range r.RecoveryFailures {
+		r.SLOViolations = append(r.SLOViolations, fmt.Sprintf("recovery failure: %s", f))
+	}
+	if spec.MinRecoveries > 0 && r.Recoveries < spec.MinRecoveries {
+		r.SLOViolations = append(r.SLOViolations,
+			fmt.Sprintf("%d recoveries below the required %d", r.Recoveries, spec.MinRecoveries))
+	}
+	// Memory rules.
+	if spec.MaxHeapGrowthFrac > 0 {
+		switch {
+		case r.Memory == nil || r.Memory.HeapMidBytes == 0:
+			r.SLOViolations = append(r.SLOViolations,
+				"heap-growth SLO set but the run collected no usable memory samples")
+		case float64(r.Memory.HeapLateBytes) > float64(r.Memory.HeapMidBytes)*(1+spec.MaxHeapGrowthFrac):
+			r.SLOViolations = append(r.SLOViolations,
+				fmt.Sprintf("heap watermark grew %.1f%% mid-to-late (%d -> %d bytes), ceiling %.1f%%",
+					100*(float64(r.Memory.HeapLateBytes)/float64(r.Memory.HeapMidBytes)-1),
+					r.Memory.HeapMidBytes, r.Memory.HeapLateBytes, 100*spec.MaxHeapGrowthFrac))
+		}
+	}
+	if spec.MaxCompiledBytes > 0 && r.Memory != nil && r.Memory.CompiledMaxBytes > spec.MaxCompiledBytes {
+		r.SLOViolations = append(r.SLOViolations,
+			fmt.Sprintf("compiled-artifact estimate peaked at %d bytes, ceiling %d",
+				r.Memory.CompiledMaxBytes, spec.MaxCompiledBytes))
 	}
 	r.Pass = len(r.SLOViolations) == 0
 }
@@ -344,6 +464,18 @@ func (r *SoakReport) Summary(w io.Writer) {
 	tbl.Render(w)
 	fmt.Fprintf(w, "oracle: %d sources over %d generations checked, %d divergences, %d unverifiable\n",
 		r.Oracle.Sources, r.Oracle.Generations, r.Oracle.Divergences, r.Oracle.Unverifiable)
+	if r.Recoveries > 0 || len(r.RecoveryFailures) > 0 {
+		fmt.Fprintf(w, "fault injection: %d kill/restart cycles, %d boundary failures\n",
+			r.Recoveries, len(r.RecoveryFailures))
+	}
+	for _, f := range r.RecoveryFailures {
+		fmt.Fprintf(w, "  recovery failure: %s\n", f)
+	}
+	if m := r.Memory; m != nil && m.Samples > 0 {
+		fmt.Fprintf(w, "memory: %d samples, heap mid=%.1fMiB late=%.1fMiB, compiled max=%.1fMiB, resident max=%d\n",
+			m.Samples, float64(m.HeapMidBytes)/(1<<20), float64(m.HeapLateBytes)/(1<<20),
+			float64(m.CompiledMaxBytes)/(1<<20), m.ResidentMax)
+	}
 	for _, d := range r.Oracle.Details {
 		fmt.Fprintf(w, "  divergence: %s\n", d)
 	}

@@ -75,6 +75,9 @@ func consistentMetrics() map[string]float64 {
 		"mc_batch_requests_total":         5,
 		"mc_inflight_queries":             0,
 		"mc_snapshot_failures_total":      0,
+		"mc_chain_collapses_total":        2,
+		"mc_resident_compiled":            3,
+		"mc_max_resident_compiled":        8,
 	}
 }
 
@@ -96,6 +99,8 @@ func TestCheckInvariantsCatchSkew(t *testing.T) {
 		{"batch samples above batches", func(m map[string]float64) { m["mc_batch_duration_seconds_count"] = 6 }},
 		{"stuck inflight", func(m map[string]float64) { m["mc_inflight_queries"] = 2 }},
 		{"snapshot failure", func(m map[string]float64) { m["mc_snapshot_failures_total"] = 1 }},
+		{"collapses above delta compiles", func(m map[string]float64) { m["mc_chain_collapses_total"] = 7 }},
+		{"resident above cap", func(m map[string]float64) { m["mc_resident_compiled"] = 9 }},
 	}
 	for _, tc := range cases {
 		m := consistentMetrics()
@@ -182,5 +187,101 @@ func TestSoakReportRoundTrip(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("summary missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// memSamples builds n evenly spaced samples whose heap follows f(i).
+func memSamples(n int, heap func(i int) int64) []MemorySample {
+	out := make([]MemorySample, n)
+	for i := range out {
+		out[i] = MemorySample{
+			ElapsedSeconds:   float64(i),
+			HeapInuseBytes:   heap(i),
+			CompiledBytes:    1 << 20,
+			ResidentCompiled: 3,
+		}
+	}
+	return out
+}
+
+func TestMakeMemoryCheck(t *testing.T) {
+	// Flat heap: mid and late watermarks agree.
+	mc := MakeMemoryCheck(memSamples(16, func(int) int64 { return 100 }))
+	if mc.Samples != 16 || mc.HeapMidBytes != 100 || mc.HeapLateBytes != 100 {
+		t.Fatalf("flat heap folded wrong: %+v", mc)
+	}
+	if mc.CompiledMaxBytes != 1<<20 || mc.ResidentMax != 3 {
+		t.Fatalf("compiled/resident maxima wrong: %+v", mc)
+	}
+	// Monotone growth: late watermark well above mid.
+	mc = MakeMemoryCheck(memSamples(16, func(i int) int64 { return int64(100 * (i + 1)) }))
+	if mc.HeapLateBytes <= mc.HeapMidBytes {
+		t.Fatalf("growing heap not detected: mid=%d late=%d", mc.HeapMidBytes, mc.HeapLateBytes)
+	}
+	// Too few samples for watermarks: maxima still folded.
+	mc = MakeMemoryCheck(memSamples(4, func(int) int64 { return 100 }))
+	if mc.Samples != 4 || mc.HeapMidBytes != 0 || mc.HeapLateBytes != 0 {
+		t.Fatalf("short run should skip watermarks: %+v", mc)
+	}
+	if mc.CompiledMaxBytes != 1<<20 {
+		t.Fatalf("short run lost the compiled max: %+v", mc)
+	}
+}
+
+func TestEvaluateMemoryAndRecoverySLO(t *testing.T) {
+	base := func() *SoakReport {
+		return &SoakReport{Classes: map[string]*ClassStats{}}
+	}
+
+	// Flat heap passes the growth rule.
+	r := base()
+	r.Memory = MakeMemoryCheck(memSamples(16, func(int) int64 { return 1 << 20 }))
+	r.Evaluate(SLOSpec{MaxHeapGrowthFrac: 0.25})
+	if !r.Pass {
+		t.Fatalf("flat heap failed the growth rule: %v", r.SLOViolations)
+	}
+
+	// Monotone growth trips it.
+	r = base()
+	r.Memory = MakeMemoryCheck(memSamples(16, func(i int) int64 { return int64((i + 1) << 20) }))
+	r.Evaluate(SLOSpec{MaxHeapGrowthFrac: 0.25})
+	if r.Pass || len(r.SLOViolations) != 1 || !strings.Contains(r.SLOViolations[0], "heap watermark grew") {
+		t.Fatalf("heap growth not enforced: pass=%v %v", r.Pass, r.SLOViolations)
+	}
+
+	// An armed heap rule with no samples is a violation, not a pass.
+	r = base()
+	r.Evaluate(SLOSpec{MaxHeapGrowthFrac: 0.25})
+	if r.Pass || len(r.SLOViolations) != 1 || !strings.Contains(r.SLOViolations[0], "no usable memory samples") {
+		t.Fatalf("missing samples not enforced: pass=%v %v", r.Pass, r.SLOViolations)
+	}
+
+	// Compiled-bytes ceiling.
+	r = base()
+	r.Memory = MakeMemoryCheck(memSamples(16, func(int) int64 { return 1 << 20 }))
+	r.Evaluate(SLOSpec{MaxCompiledBytes: 1 << 10})
+	if r.Pass || len(r.SLOViolations) != 1 || !strings.Contains(r.SLOViolations[0], "compiled-artifact estimate") {
+		t.Fatalf("compiled ceiling not enforced: pass=%v %v", r.Pass, r.SLOViolations)
+	}
+
+	// Recovery floor and boundary failures.
+	r = base()
+	r.Recoveries = 1
+	r.Evaluate(SLOSpec{MinRecoveries: 2})
+	if r.Pass || len(r.SLOViolations) != 1 || !strings.Contains(r.SLOViolations[0], "recoveries below") {
+		t.Fatalf("recovery floor not enforced: pass=%v %v", r.Pass, r.SLOViolations)
+	}
+	r = base()
+	r.Recoveries = 2
+	r.RecoveryFailures = []string{"restart 1: generation went backwards"}
+	r.Evaluate(SLOSpec{MinRecoveries: 2})
+	if r.Pass || len(r.SLOViolations) != 1 || !strings.Contains(r.SLOViolations[0], "recovery failure") {
+		t.Fatalf("boundary failure not enforced: pass=%v %v", r.Pass, r.SLOViolations)
+	}
+	r = base()
+	r.Recoveries = 2
+	r.Evaluate(SLOSpec{MinRecoveries: 2})
+	if !r.Pass {
+		t.Fatalf("satisfied recovery spec failed: %v", r.SLOViolations)
 	}
 }

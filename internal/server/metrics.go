@@ -4,11 +4,39 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime/metrics"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 )
+
+// heapSamples name the runtime/metrics series whose sum is HeapInuse:
+// spans holding live objects plus the unused tails of those spans —
+// the watermark that stays flat when the process is memory-bounded
+// and climbs monotonically when an artifact chain (or anything else)
+// leaks.
+var heapSamples = []string{
+	"/memory/classes/heap/objects:bytes",
+	"/memory/classes/heap/unused:bytes",
+}
+
+// heapInuseBytes reads the heap-in-use watermark. A fresh sample
+// slice per call keeps it safe for concurrent scrapers.
+func heapInuseBytes() int64 {
+	samples := make([]metrics.Sample, len(heapSamples))
+	for i, name := range heapSamples {
+		samples[i].Name = name
+	}
+	metrics.Read(samples)
+	var total int64
+	for _, s := range samples {
+		if s.Value.Kind() == metrics.KindUint64 {
+			total += int64(s.Value.Uint64())
+		}
+	}
+	return total
+}
 
 // latencyRing is a fixed-size ring buffer of recent query latencies,
 // the window behind the p50/p99 gauges of /v1/stats and the summary
@@ -203,7 +231,8 @@ func (s *Service) WriteMetrics(w io.Writer) error {
 		{"mc_compiles_total", "Compiled query-graph builds, full or delta (once per generation on the happy path).", st.Compiles},
 		{"mc_full_compiles_total", "Cold Compile builds over the whole database.", st.DeltaCompile.FullCompiles},
 		{"mc_delta_compiles_total", "Delta Extend builds rolling the artifact across an append.", st.DeltaCompile.DeltaCompiles},
-		{"mc_delta_fallbacks_total", "Appends that skipped the delta path (fraction threshold or chain depth).", st.DeltaCompile.Fallbacks},
+		{"mc_delta_fallbacks_total", "Appends that skipped the delta path on the fraction threshold.", st.DeltaCompile.Fallbacks},
+		{"mc_chain_collapses_total", "Extend chains flattened at append time (retention cap, byte budget, or depth bound).", st.Memory.ChainCollapses},
 		{"mc_queries_rejected_total", "Queries fast-failed with ErrClosed during shutdown (excluded from errors and latency).", st.QueriesRejected},
 		{"mc_bad_requests_total", "Queries rejected by validation (excluded from errors and latency).", st.BadRequests},
 		{"mc_cache_hits_total", "Queries answered from the result cache.", st.CacheHits},
@@ -223,6 +252,10 @@ func (s *Service) WriteMetrics(w io.Writer) error {
 		{"mc_snapshots_total", "Snapshots written (checkpoints).", st.Snapshots},
 		{"mc_snapshot_failures_total", "Background checkpoints that failed.", st.SnapshotFailures},
 		{"mc_recovery_replayed_records", "WAL records replayed by the last recovery.", st.RecoveryReplayedRecords},
+		{"mc_resident_compiled", "Compiled-artifact generations the live Extend chain keeps resident.", st.Memory.ResidentCompiled},
+		{"mc_max_resident_compiled", "Configured resident-generation cap (negative = disabled).", st.Memory.MaxResidentCompiled},
+		{"mc_compiled_bytes", "ResidentBytes estimate of the live compiled artifact.", st.Memory.CompiledBytes},
+		{"mc_heap_inuse_bytes", "Runtime heap in use (spans holding live objects).", st.Memory.HeapInuseBytes},
 	}
 	for _, c := range counters {
 		kind := "gauge"

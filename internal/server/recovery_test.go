@@ -177,6 +177,28 @@ func TestCrashRecoveryMatrix(t *testing.T) {
 			}
 			return len(batches)
 		}},
+		{"rotate-no-snapshot", func(t *testing.T, dir string, batches []FactsRequest) int {
+			// Crash inside the checkpoint window: the WAL was rotated
+			// (sealing the old segment and naming a GC floor) but the
+			// snapshot that would cover it was never written. The sealed
+			// segment is then the only copy of the early batches — replay
+			// must walk it and GC must not have touched it.
+			svc := durableService(t, dir)
+			half := len(batches) / 2
+			for _, b := range batches[:half] {
+				mustAppend(t, svc, b)
+			}
+			if err := svc.Checkpoint(); err != nil {
+				t.Fatalf("Checkpoint: %v", err)
+			}
+			for _, b := range batches[half:] {
+				mustAppend(t, svc, b)
+			}
+			if _, err := svc.dur.Rotate(); err != nil {
+				t.Fatalf("Rotate: %v", err)
+			}
+			return len(batches)
+		}},
 		{"torn-final-record", func(t *testing.T, dir string, batches []FactsRequest) int {
 			svc := durableService(t, dir)
 			for _, b := range batches {

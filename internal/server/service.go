@@ -66,6 +66,21 @@ type Config struct {
 	// to dropping the artifact, recompiled lazily on the next miss.
 	// Zero selects 0.25; negative disables delta compilation entirely.
 	DeltaMaxFrac float64
+	// MaxResidentCompiled caps how many artifact generations the live
+	// Extend chain may keep resident: each Extend aliases its parent,
+	// so a chain of depth d pins d+1 generations of storage. When a
+	// delta append would exceed the cap, the appender collapses the
+	// extended artifact with core.Flatten — off the write lock, like
+	// the delta compile itself — publishing a self-contained artifact
+	// that frees every ancestor. Zero selects 8; negative disables the
+	// generation cap (the maxDeltaChain hard cap still collapses).
+	MaxResidentCompiled int
+	// MaxCompiledBytes collapses the chain when its ResidentBytes
+	// estimate crosses this many bytes, whatever its depth — deep
+	// chains of small deltas and short chains of huge ones hit the
+	// same wall. Zero selects 256 MiB; negative disables the byte
+	// trigger.
+	MaxCompiledBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -84,15 +99,25 @@ func (c Config) withDefaults() Config {
 	if c.DeltaMaxFrac == 0 {
 		c.DeltaMaxFrac = 0.25
 	}
+	if c.MaxResidentCompiled == 0 {
+		c.MaxResidentCompiled = 8
+	}
+	if c.MaxCompiledBytes == 0 {
+		c.MaxCompiledBytes = 256 << 20
+	}
 	return c
 }
 
-// maxDeltaChain bounds the Extend chain between full compiles: every
-// delta generation aliases its parent's storage, so an unbounded
-// chain would pin each generation's re-laid rows (and overlay maps)
-// for the life of the newest artifact. At this depth the appender
-// drops the artifact instead, and the next query miss compiles cold,
-// flattening the chain.
+// maxDeltaChain is the hard bound on Extend-chain depth, enforced
+// even when Config.MaxResidentCompiled disables the retention cap:
+// every delta generation aliases its parent's storage, so an
+// unbounded chain would pin each generation's re-laid rows (and
+// overlay maps) for the life of the newest artifact. At this depth
+// the appender collapses the chain with core.Flatten and keeps delta
+// compilation going — dropping the artifact here instead used to
+// latch the server into fallback-forever under sustained appends,
+// because the cold compile that would reset the depth only runs on a
+// query miss and its publish loses every race with the next append.
 const maxDeltaChain = 256
 
 // cacheKey identifies one cached evaluation. Auto-selected queries
@@ -203,6 +228,10 @@ type Service struct {
 	deltaCompiles  atomic.Int64
 	fullCompiles   atomic.Int64
 	deltaFallbacks atomic.Int64
+	// chainCollapses counts delta appends whose extended artifact was
+	// flattened before publish (retention cap, byte budget, or the
+	// maxDeltaChain hard bound).
+	chainCollapses atomic.Int64
 	deltaHist      *histogram
 	lastAppendSpan atomic.Pointer[obs.Span]
 
@@ -1003,23 +1032,7 @@ func (s *Service) AppendFacts(req FactsRequest) (*FactsResponse, error) {
 	// nil — the old artifact describes the old generation, so the next
 	// miss rebuilds from the new slices.
 	s.compiled = next
-	// Purge dead generations immediately: stale entries are
-	// unreachable (generation mismatch) and would otherwise sit in
-	// cache slots indefinitely, inflating mc_cache_entries and
-	// crowding out live results until eviction stumbled on them. This
-	// keeps the invariant that every cached entry is live.
-	for k, e := range s.cache {
-		if e.generation != gen {
-			delete(s.cache, k)
-		}
-	}
-	// Rebuild the CLOCK ring over the survivors (normally none) so the
-	// sweep never walks a ring of dead slots.
-	s.clock = s.clock[:0]
-	for k := range s.cache {
-		s.clock = append(s.clock, k)
-	}
-	s.hand = 0
+	s.invalidateGenerationLocked(gen)
 	s.mu.Unlock()
 
 	s.maybeSnapshot(added)
@@ -1029,6 +1042,34 @@ func (s *Service) AppendFacts(req FactsRequest) (*FactsResponse, error) {
 		AddedE:     len(addE),
 		AddedR:     len(addR),
 	}, nil
+}
+
+// invalidateGenerationLocked purges every cache entry not at gen and
+// rebuilds the CLOCK ring over the survivors. Purging immediately
+// (rather than waiting for eviction to stumble on them) keeps the
+// invariant that every cached entry is live: stale entries are
+// unreachable (generation mismatch) and would otherwise sit in cache
+// slots indefinitely, inflating mc_cache_entries and crowding out
+// live results. The hand keeps its sweep position so surviving
+// entries don't get a free extra revolution — but the rebuilt ring is
+// usually shorter than the old one, so the position is clamped into
+// range; an out-of-range hand would make the next evictOneLocked
+// sweep start mid-wrap and, worse, index past the ring if any caller
+// ever read s.clock[s.hand] before the sweep's own wrap check.
+// Caller holds mu.
+func (s *Service) invalidateGenerationLocked(gen uint64) {
+	for k, e := range s.cache {
+		if e.generation != gen {
+			delete(s.cache, k)
+		}
+	}
+	s.clock = s.clock[:0]
+	for k := range s.cache {
+		s.clock = append(s.clock, k)
+	}
+	if s.hand >= len(s.clock) {
+		s.hand = 0
+	}
 }
 
 // rollArtifact produces the compiled artifact to publish for the
@@ -1042,17 +1083,26 @@ func (s *Service) AppendFacts(req FactsRequest) (*FactsResponse, error) {
 //
 // Delta compilation is skipped when: it is disabled (DeltaMaxFrac <
 // 0); there is no artifact at the current generation to extend (a
-// pure append stream stays lazy until a query compiles); the delta
+// pure append stream stays lazy until a query compiles); or the delta
 // exceeds DeltaMaxFrac of the resulting database (a bulk load — the
-// aliasing win vanishes and the eager work would stall the append);
-// or the extend chain has reached maxDeltaChain (flatten by cold
-// compile rather than pin every ancestor's storage). Threshold and
-// depth skips count as fallbacks; the artifact's absence does not.
+// aliasing win vanishes and the eager work would stall the append).
+// Only the threshold skip counts as a fallback; the artifact's
+// absence does not.
+//
+// The extended artifact is then collapsed with core.Flatten — still
+// with no query-visible lock held — whenever the chain would pin more
+// than MaxResidentCompiled generations, its ResidentBytes estimate
+// exceeds MaxCompiledBytes, or its depth reaches the maxDeltaChain
+// hard bound. The collapse keeps the delta path live (the published
+// artifact is depth 0, so the next append extends it) while freeing
+// every aliased ancestor; before this, hitting maxDeltaChain dropped
+// the artifact and latched the server into invalidation on every
+// subsequent append under sustained load.
 func (s *Service) rollArtifact(comp *core.Compiled, gen uint64, facts, added int, addL, addE, addR []core.Pair) *core.Compiled {
 	if s.cfg.DeltaMaxFrac < 0 || comp == nil || comp.Generation != gen {
 		return nil
 	}
-	if frac := float64(added) / float64(facts+added); frac > s.cfg.DeltaMaxFrac || comp.DeltaDepth() >= maxDeltaChain {
+	if frac := float64(added) / float64(facts+added); frac > s.cfg.DeltaMaxFrac {
 		s.deltaFallbacks.Add(1)
 		return nil
 	}
@@ -1071,8 +1121,38 @@ func (s *Service) rollArtifact(comp *core.Compiled, gen uint64, facts, added int
 	tr.End(sp, 0)
 	s.compiles.Add(1)
 	s.deltaCompiles.Add(1)
+	if s.shouldCollapse(next) {
+		csp := tr.Start("collapse", 0)
+		cstart := time.Now()
+		flat := next.Flatten()
+		if csp != nil {
+			csp.Set("depth", int64(next.DeltaDepth()))
+			csp.Set("bytes_before", next.ResidentBytes())
+			csp.Set("bytes_after", flat.ResidentBytes())
+			csp.Set("elapsed_us", time.Since(cstart).Microseconds())
+		}
+		tr.End(csp, 0)
+		next = flat
+		s.chainCollapses.Add(1)
+	}
 	s.lastAppendSpan.Store(tr.Finish(0))
 	return next
+}
+
+// shouldCollapse decides whether the freshly extended artifact must be
+// flattened before publish. A chain of depth d keeps d+1 generations
+// resident, so the retention cap fires at depth >= MaxResidentCompiled;
+// the byte budget fires on the ResidentBytes estimate; maxDeltaChain
+// fires regardless of configuration.
+func (s *Service) shouldCollapse(next *core.Compiled) bool {
+	depth := next.DeltaDepth()
+	if depth >= maxDeltaChain {
+		return true
+	}
+	if s.cfg.MaxResidentCompiled > 0 && depth >= s.cfg.MaxResidentCompiled {
+		return true
+	}
+	return s.cfg.MaxCompiledBytes > 0 && next.ResidentBytes() > s.cfg.MaxCompiledBytes
 }
 
 // ensureSets materializes the membership sets from the fact slices if
@@ -1172,22 +1252,50 @@ type Stats struct {
 	// DeltaCompile reports the incremental-compilation state (see
 	// AppendFacts and rollArtifact).
 	DeltaCompile DeltaCompileStats `json:"delta_compile"`
+	// Memory reports the bounded-memory state: resident artifact
+	// generations, the pinned-bytes estimate, collapse activity, and
+	// the process heap watermark (see rollArtifact and the
+	// MaxResidentCompiled/MaxCompiledBytes knobs).
+	Memory MemoryStats `json:"memory"`
 }
 
 // DeltaCompileStats is the delta-compilation block of Stats.
 type DeltaCompileStats struct {
 	// DeltaCompiles and FullCompiles partition Compiles; Fallbacks
 	// counts appends that skipped the delta path on the fraction
-	// threshold or the chain-depth bound.
+	// threshold (chain depth no longer falls back — it collapses; see
+	// MemoryStats.ChainCollapses).
 	DeltaCompiles int64   `json:"delta_compiles"`
 	FullCompiles  int64   `json:"full_compiles"`
 	Fallbacks     int64   `json:"fallbacks"`
 	MaxFraction   float64 `json:"max_fraction"`
 	// ChainDepth is the current artifact's Extend depth since its last
-	// full compile (0 when cold-compiled, absent, or decoded).
+	// full compile (0 when cold-compiled, absent, decoded, or just
+	// collapsed).
 	ChainDepth int `json:"chain_depth"`
 	// LastAppend is the most recent delta-compiling append's span tree.
 	LastAppend *obs.Span `json:"last_append,omitempty"`
+}
+
+// MemoryStats is the bounded-memory block of Stats.
+type MemoryStats struct {
+	// ResidentCompiled counts the artifact generations the live Extend
+	// chain keeps resident: DeltaDepth+1 for a published artifact, 0
+	// when none is resident.
+	ResidentCompiled int `json:"resident_compiled"`
+	// CompiledBytes is the live artifact's ResidentBytes estimate.
+	CompiledBytes int64 `json:"compiled_bytes"`
+	// ChainCollapses counts appends whose extended artifact was
+	// flattened before publish.
+	ChainCollapses int64 `json:"chain_collapses"`
+	// HeapInuseBytes is the runtime's heap-in-use watermark (spans
+	// holding live objects, scraped from runtime/metrics) — the field
+	// soak harnesses watch for monotonic growth.
+	HeapInuseBytes int64 `json:"heap_inuse_bytes"`
+	// MaxResidentCompiled and MaxCompiledBytes echo the effective
+	// configuration so a scraper can tell capped from uncapped runs.
+	MaxResidentCompiled int   `json:"max_resident_compiled"`
+	MaxCompiledBytes    int64 `json:"max_compiled_bytes"`
 }
 
 // Close marks the service closed and drains the worker pool: new
@@ -1241,11 +1349,16 @@ func (s *Service) Stats() Stats {
 	gen := s.generation
 	fl, fe, fr := len(s.l), len(s.e), len(s.r)
 	entries := len(s.cache)
-	depth := 0
-	if s.compiled != nil {
-		depth = s.compiled.DeltaDepth()
-	}
+	comp := s.compiled
 	s.mu.RUnlock()
+	depth, resident, compiledBytes := 0, 0, int64(0)
+	if comp != nil {
+		// ResidentBytes walks the artifact, so it runs on the snapshot
+		// outside the lock; the artifact is immutable once published.
+		depth = comp.DeltaDepth()
+		resident = depth + 1
+		compiledBytes = comp.ResidentBytes()
+	}
 	p50, p99 := s.lat.percentile(0.50), s.lat.percentile(0.99)
 	bp50, bp99 := s.blat.percentile(0.50), s.blat.percentile(0.99)
 	return Stats{
@@ -1288,6 +1401,15 @@ func (s *Service) Stats() Stats {
 			MaxFraction:   s.cfg.DeltaMaxFrac,
 			ChainDepth:    depth,
 			LastAppend:    s.lastAppendSpan.Load(),
+		},
+
+		Memory: MemoryStats{
+			ResidentCompiled:    resident,
+			CompiledBytes:       compiledBytes,
+			ChainCollapses:      s.chainCollapses.Load(),
+			HeapInuseBytes:      heapInuseBytes(),
+			MaxResidentCompiled: s.cfg.MaxResidentCompiled,
+			MaxCompiledBytes:    s.cfg.MaxCompiledBytes,
 		},
 	}
 }
