@@ -19,6 +19,13 @@ type appendmixResult struct {
 	// Appends the number of append steps replayed on top of it.
 	BaseFacts int `json:"base_facts"`
 	Appends   int `json:"appends"`
+	// AppendedFacts is the total pairs the append sequence carried
+	// (duplicates included — the mix deliberately re-sends facts);
+	// FinalFacts is the deduplicated arc count of the end-state
+	// artifact. Together they size the probe: a speedup claim without
+	// them says nothing about how much data it was measured over.
+	AppendedFacts int `json:"appended_facts"`
+	FinalFacts    int `json:"final_facts"`
 	// FullNsPerAppend and DeltaNsPerAppend are the amortized compile
 	// cost per append (fastest of -benchrounds rounds) for the two
 	// maintenance policies.
@@ -105,6 +112,7 @@ func runAppendmixProbe(base, appends, rounds int, out io.Writer) (*appendmixResu
 	for i := range steps {
 		dL, dE, dR := appendmixStep(rng, i, baseN)
 		steps[i] = delta{dL, dE, dR}
+		res.AppendedFacts += len(dL) + len(dE) + len(dR)
 	}
 
 	fullBest, deltaBest := time.Duration(1<<62), time.Duration(1<<62)
@@ -151,6 +159,8 @@ func runAppendmixProbe(base, appends, rounds int, out io.Writer) (*appendmixResu
 				return nil, fmt.Errorf("appendmix: delta artifact diverges after %d appends: %w", appends, err)
 			}
 			res.StructChecks++
+			al, ae, ar := fullComp.Arcs()
+			res.FinalFacts = al + ae + ar
 
 			// Flatten probe: collapsing the full Extend chain must yield
 			// an artifact structurally identical to the cold recompile,
@@ -189,8 +199,8 @@ func runAppendmixProbe(base, appends, rounds int, out io.Writer) (*appendmixResu
 		res.Speedup = float64(fullBest) / float64(deltaBest)
 	}
 
-	fmt.Fprintf(out, "appendmix probe: %d base facts, %d appends, %d oracle queries (0 divergent)\n",
-		res.BaseFacts, res.Appends, res.OracleQueries)
+	fmt.Fprintf(out, "appendmix probe: %d base facts, %d appends (%d pairs, final %d), %d oracle queries (0 divergent)\n",
+		res.BaseFacts, res.Appends, res.AppendedFacts, res.FinalFacts, res.OracleQueries)
 	fmt.Fprintf(out, "  full recompile: %12.0f ns/append\n", res.FullNsPerAppend)
 	fmt.Fprintf(out, "  delta compile:  %12.0f ns/append\n", res.DeltaNsPerAppend)
 	fmt.Fprintf(out, "  speedup:        %12.2fx\n", res.Speedup)

@@ -14,6 +14,7 @@
 //	mcserved -data-dir ./data -fsync interval -snapshot-every 10000
 //	mcserved -addr :9000 -workers 8 -timeout 5s
 //	mcserved -delta-max-frac 0.5   # delta-compile appends up to half the database
+//	mcserved -shards 8             # region-sharded artifacts: route queries and scope appends per shard
 //	mcserved -debug-addr :6060     # also serve net/http/pprof there
 //	mcserved -quiet                # no per-request log lines
 //
@@ -162,6 +163,7 @@ func run(args []string, stdout io.Writer, ready chan<- net.Addr) error {
 	deltaMaxFrac := fs.Float64("delta-max-frac", 0.25, "delta-compile appends up to this fraction of the database; larger appends recompile lazily (negative disables delta compilation)")
 	maxResident := fs.Int("max-resident-compiled", 8, "collapse the delta chain once it pins this many compiled generations (negative disables the cap)")
 	maxCompiledBytes := fs.Int64("max-compiled-bytes", 256<<20, "collapse the delta chain once its pinned-bytes estimate crosses this (negative disables the byte trigger)")
+	shards := fs.Int("shards", 1, "partition the compiled artifact into this many region shards: queries route to one shard, appends delta-compile only touched shards (<=1 = monolithic)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -181,6 +183,7 @@ func run(args []string, stdout io.Writer, ready chan<- net.Addr) error {
 
 		MaxResidentCompiled: *maxResident,
 		MaxCompiledBytes:    *maxCompiledBytes,
+		Shards:              *shards,
 	})
 	if *dataDir != "" {
 		// Recover before listening: a port that answers implies a

@@ -31,8 +31,11 @@ import (
 type childServer struct {
 	bin     string
 	dataDir string
-	cmd     *exec.Cmd
-	addr    string // host:port the child reported
+	// extraArgs are appended to the fixed spawn arguments (e.g.
+	// "-shards 4" to soak a region-sharded server).
+	extraArgs []string
+	cmd       *exec.Cmd
+	addr      string // host:port the child reported
 }
 
 // start spawns the child on an ephemeral port over the shared data
@@ -40,7 +43,9 @@ type childServer struct {
 // the whole point of the kill mode is that acknowledged appends
 // survive SIGKILL, which only that policy guarantees.
 func (ch *childServer) start() error {
-	cmd := exec.Command(ch.bin, "-addr", "127.0.0.1:0", "-data-dir", ch.dataDir, "-fsync", "always", "-quiet")
+	args := []string{"-addr", "127.0.0.1:0", "-data-dir", ch.dataDir, "-fsync", "always", "-quiet"}
+	args = append(args, ch.extraArgs...)
+	cmd := exec.Command(ch.bin, args...)
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
 		return err

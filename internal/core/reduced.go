@@ -397,9 +397,21 @@ func multiIndices(cs *levelSet, v int32) []int {
 // non-recurring subgraph, for cost O(m_L + n_m·m_m).
 func (in *instance) step1RecurringSCC(integrated bool) *ReducedSets {
 	g := in.lGraph()
-	// Charge the SCC + reachability sweeps: linear in arcs visited.
-	in.charge(int64(2*g.M() + 2*g.N()))
 	c := g.Classify(int(in.src))
+	// Charge the SCC + reachability sweeps: linear in the nodes and
+	// arcs of the source-reachable region. A Tarjan run over the
+	// induced reachable subgraph retrieves exactly those rows (every
+	// out-neighbor of a reachable node is reachable), so the method's
+	// cost — like every other Step 1's — is confined to the query's
+	// region and does not grow with unrelated parts of the database.
+	var reachN, reachM int64
+	for v := 0; v < g.N(); v++ {
+		if c.Class[v] != graph.Unreachable {
+			reachN++
+			reachM += int64(len(g.Out(v)))
+		}
+	}
+	in.charge(2 * (reachN + reachM))
 	n := in.nL
 	rs := &ReducedSets{
 		MS:         make([]bool, n),

@@ -1,0 +1,679 @@
+package core
+
+import (
+	"sort"
+
+	"magiccounting/internal/graph"
+)
+
+// This file is the region-sharding layer: CompileSharded partitions a
+// database along the weakly connected components of its combined
+// symbol graph (L and R arcs inside their own domains, E arcs
+// bridging them) and compiles one independent artifact per shard. The
+// partition is answer-preserving by construction: Fact 2's walks
+// follow L, E, and R arcs only, so the region a query from source a
+// can ever touch is contained in a's weak component, which lives
+// whole inside one shard. Every query therefore routes to exactly one
+// shard — smaller symbol tables, hotter caches — and maintenance is
+// per-shard: an append delta-compiles only the shards it touches, an
+// append that bridges regions merges the affected shards (and only
+// them), and chain collapse runs shard by shard instead of forcing a
+// whole-database Flatten.
+
+// ShardOpts tunes CompileSharded.
+type ShardOpts struct {
+	// Shards is the target shard count K. Components are packed onto K
+	// shards greedily, largest first. Values below 1 select 1.
+	Shards int
+}
+
+// factRope is a chunked fact list: each Extend appends one chunk (an
+// O(chunks) outer copy, never an O(shard) pair copy — the pair slices
+// themselves are shared with the parent artifact), and readers
+// materialize the flat form only when a rebuild or merge actually
+// needs it.
+type factRope [][]Pair
+
+// flat materializes the rope. A single-chunk rope returns its chunk
+// unchanged, so a freshly rebuilt shard materializes for free.
+func (fr factRope) flat() []Pair {
+	if len(fr) == 1 {
+		return fr[0]
+	}
+	n := 0
+	for _, c := range fr {
+		n += len(c)
+	}
+	out := make([]Pair, 0, n)
+	for _, c := range fr {
+		out = append(out, c...)
+	}
+	return out
+}
+
+// appendChunk returns a rope covering base plus chunk without growing
+// base's backing array in place (parents share ropes with children).
+func appendChunk(base factRope, chunk []Pair) factRope {
+	if len(chunk) == 0 {
+		return base
+	}
+	out := make(factRope, 0, len(base)+1)
+	out = append(out, base...)
+	return append(out, chunk)
+}
+
+// shardChunkFold bounds a shard's total chunk count: past it the ropes
+// collapse to single chunks, so the per-append outer copy stays O(1)
+// amortized over a long append stream.
+const shardChunkFold = 256
+
+// shard is one region shard: the facts that landed in it (as chunked
+// ropes, kept so a bridging append can merge or rebuild this shard
+// without touching any other) plus the compiled artifact over exactly
+// those facts.
+type shard struct {
+	l, e, r factRope
+	nfacts  int
+	comp    *Compiled
+}
+
+func (sh *shard) facts() int { return sh.nfacts }
+
+// ShardedCompiled is a database compiled as K independent region
+// shards behind a symbol->shard router. Like Compiled it is immutable
+// once published and safe for any number of concurrent queries;
+// Extend returns a new artifact sharing everything the delta does not
+// touch. Generation follows the Compiled convention: zero from
+// CompileSharded, stamped by the caller via SetGeneration (the
+// per-shard artifacts keep their own internal tags and are not
+// restamped — routing and staleness are decided at this level).
+type ShardedCompiled struct {
+	Generation uint64
+
+	// shards[i] is slot i's shard. A slot vacated by a merge keeps an
+	// empty placeholder (queries can no longer reach it — see redirect)
+	// so slot indexes stay stable for routing and metrics.
+	shards []*shard
+
+	// routeL/routeR map each symbol name to its home slot; the overlay
+	// chains hold symbols interned by Extend, append-only, exactly like
+	// a Compiled's symbol overlays (a name is routed in exactly one
+	// link, so there is no shadowing). redirect folds merges: a lookup
+	// yields a slot, and redirect[slot] is the live shard that absorbed
+	// it — merges re-point one array entry instead of rewriting every
+	// symbol's route.
+	routeL, routeR map[string]int32
+	lOv, rOv       *symOv
+	redirect       []int32
+	// ovDepth counts overlay links; past routeFoldDepth an Extend folds
+	// the chains into fresh base maps so lookups stay O(1) amortized.
+	ovDepth int
+	// ovOwnedL/ovOwnedR mark whether the head overlay link was created
+	// by this artifact's own Extend (writable) or inherited from the
+	// parent (shared read-only, so a fresh link must be prepended).
+	ovOwnedL, ovOwnedR bool
+}
+
+// routeFoldDepth bounds the router overlay chains: each Extend adds at
+// most one link per side, and a genuine lookup miss probes every link,
+// so a long-running append stream folds the chain back into the base
+// maps once it reaches this depth.
+const routeFoldDepth = 64
+
+// ShardExtendStats reports what one sharded Extend did: which live
+// slots were touched (ascending, deduplicated), how many of those
+// were rolled with a delta Extend versus cold-rebuilt in place, and
+// how many shard merges a bridging delta forced (a merge of n shards
+// counts n-1).
+type ShardExtendStats struct {
+	Touched       []int
+	DeltaExtended int
+	Rebuilt       int
+	Merges        int
+}
+
+// CompileSharded interns the database's symbol graph, decomposes it
+// into weakly connected components, packs the components onto K
+// shards (largest fact-count first onto the emptiest shard, ties to
+// the lowest slot — deterministic in the input order), and compiles
+// each shard independently. With K=1 it degenerates to a single shard
+// holding the whole database.
+func CompileSharded(L, E, R []Pair, opts ShardOpts) *ShardedCompiled {
+	k := opts.Shards
+	if k < 1 {
+		k = 1
+	}
+	// Intern the two symbol domains, in the same relation order a cold
+	// Compile uses so component numbering is deterministic.
+	lid := make(map[string]int32, len(L))
+	rid := make(map[string]int32, len(R))
+	var lNames, rNames []string
+	internL := func(name string) int32 {
+		if id, ok := lid[name]; ok {
+			return id
+		}
+		id := int32(len(lNames))
+		lid[name] = id
+		lNames = append(lNames, name)
+		return id
+	}
+	internR := func(name string) int32 {
+		if id, ok := rid[name]; ok {
+			return id
+		}
+		id := int32(len(rNames))
+		rid[name] = id
+		rNames = append(rNames, name)
+		return id
+	}
+	for _, p := range L {
+		internL(p.From)
+		internL(p.To)
+	}
+	for _, p := range E {
+		internL(p.From)
+		internR(p.To)
+	}
+	for _, p := range R {
+		internR(p.From)
+		internR(p.To)
+	}
+	nL := len(lNames)
+
+	// The combined symbol graph: L-nodes 0..nL-1, R-nodes nL.., every
+	// fact one arc. Weak components of this graph are the regions.
+	g := graph.NewDigraph(nL + len(rNames))
+	for _, p := range L {
+		g.AddArc(int(lid[p.From]), int(lid[p.To]))
+	}
+	for _, p := range E {
+		g.AddArc(int(lid[p.From]), nL+int(rid[p.To]))
+	}
+	for _, p := range R {
+		g.AddArc(nL+int(rid[p.From]), nL+int(rid[p.To]))
+	}
+	wcc := g.WeaklyConnectedComponents()
+
+	// Pack components onto K slots by fact count, largest first onto
+	// the currently-lightest slot. Both endpoints of a fact share a
+	// component, so counting by the From endpoint counts each fact once.
+	compFacts := make([]int, wcc.NumComps)
+	for _, p := range L {
+		compFacts[wcc.Comp[lid[p.From]]]++
+	}
+	for _, p := range E {
+		compFacts[wcc.Comp[lid[p.From]]]++
+	}
+	for _, p := range R {
+		compFacts[wcc.Comp[nL+int(rid[p.From])]]++
+	}
+	order := make([]int, wcc.NumComps)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return compFacts[order[a]] > compFacts[order[b]]
+	})
+	slotFacts := make([]int, k)
+	compSlot := make([]int32, wcc.NumComps)
+	for _, c := range order {
+		best := 0
+		for s := 1; s < k; s++ {
+			if slotFacts[s] < slotFacts[best] {
+				best = s
+			}
+		}
+		compSlot[c] = int32(best)
+		slotFacts[best] += compFacts[c]
+	}
+
+	sc := &ShardedCompiled{
+		shards:   make([]*shard, k),
+		routeL:   make(map[string]int32, nL),
+		routeR:   make(map[string]int32, len(rNames)),
+		redirect: make([]int32, k),
+	}
+	for id, name := range lNames {
+		sc.routeL[name] = compSlot[wcc.Comp[id]]
+	}
+	for id, name := range rNames {
+		sc.routeR[name] = compSlot[wcc.Comp[nL+id]]
+	}
+	// Distribute facts in relation order, so each shard's Compile sees
+	// its facts in the same relative order the monolithic build would.
+	ls, es, rs := make([][]Pair, k), make([][]Pair, k), make([][]Pair, k)
+	for _, p := range L {
+		slot := compSlot[wcc.Comp[lid[p.From]]]
+		ls[slot] = append(ls[slot], p)
+	}
+	for _, p := range E {
+		slot := compSlot[wcc.Comp[lid[p.From]]]
+		es[slot] = append(es[slot], p)
+	}
+	for _, p := range R {
+		slot := compSlot[wcc.Comp[nL+int(rid[p.From])]]
+		rs[slot] = append(rs[slot], p)
+	}
+	for i := range sc.shards {
+		sc.shards[i] = &shard{
+			l:      factRope{ls[i]},
+			e:      factRope{es[i]},
+			r:      factRope{rs[i]},
+			nfacts: len(ls[i]) + len(es[i]) + len(rs[i]),
+			comp:   Compile(ls[i], es[i], rs[i]),
+		}
+		sc.redirect[i] = int32(i)
+	}
+	return sc
+}
+
+// SetGeneration stamps the artifact's generation. The per-shard
+// artifacts are not restamped: staleness is decided at this level,
+// and their internal tags only order their own Extend chains.
+func (sc *ShardedCompiled) SetGeneration(gen uint64) { sc.Generation = gen }
+
+// ShardOf returns the live slot that answers queries from source. A
+// source absent from every relation routes to slot 0: it binds as a
+// virtual isolated node, and an isolated node's answers and stats are
+// identical on every shard.
+func (sc *ShardedCompiled) ShardOf(source string) int {
+	if slot, ok := lookupSym(sc.routeL, sc.lOv, source); ok {
+		return int(sc.redirect[slot])
+	}
+	return 0
+}
+
+// Solve answers ?- P(source, Y) on the source's shard. Answers and
+// Stats are byte-identical to solving the monolithic Compiled: the
+// evaluation can only touch source's weak component, which the shard
+// contains whole.
+func (sc *ShardedCompiled) Solve(source string, strategy Strategy, mode Mode, opts Options) (*Result, error) {
+	return sc.shards[sc.ShardOf(source)].comp.Solve(source, strategy, mode, opts)
+}
+
+// ChooseMethod picks a method for one source per its shard's magic
+// graph; the classification is confined to the source-reachable
+// region, so the selection matches the monolithic artifact's.
+func (sc *ShardedCompiled) ChooseMethod(source string) Selection {
+	return sc.shards[sc.ShardOf(source)].comp.ChooseMethod(source)
+}
+
+// SolveAuto evaluates one source with the method ChooseMethod selects.
+func (sc *ShardedCompiled) SolveAuto(source string, opts Options) (*Result, Selection, error) {
+	return sc.shards[sc.ShardOf(source)].comp.SolveAuto(source, opts)
+}
+
+// NumShards reports the slot count K (vacated slots included).
+func (sc *ShardedCompiled) NumShards() int { return len(sc.shards) }
+
+// LiveSlots returns the slots that still own a shard (ascending):
+// slot i is live while redirect[i] == i, and loses that the moment a
+// merge absorbs it.
+func (sc *ShardedCompiled) LiveSlots() []int {
+	out := make([]int, 0, len(sc.shards))
+	for i, r := range sc.redirect {
+		if int(r) == i {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// ShardArtifact returns slot i's compiled artifact (nil only for a
+// vacated slot's placeholder before any query, which callers never
+// route to).
+func (sc *ShardedCompiled) ShardArtifact(i int) *Compiled { return sc.shards[i].comp }
+
+// SetShardArtifact swaps slot i's artifact, for a retention policy
+// collapsing one shard's Extend chain (c must compile the same facts
+// — typically ShardArtifact(i).Flatten()). Only safe before the
+// ShardedCompiled is published: afterwards it is shared read-only.
+func (sc *ShardedCompiled) SetShardArtifact(i int, c *Compiled) {
+	sh := *sc.shards[i]
+	sh.comp = c
+	sc.shards[i] = &sh
+}
+
+// ShardFacts reports slot i's fact count.
+func (sc *ShardedCompiled) ShardFacts(i int) int { return sc.shards[i].facts() }
+
+// MaxDeltaDepth reports the deepest per-shard Extend chain.
+func (sc *ShardedCompiled) MaxDeltaDepth() int {
+	depth := 0
+	for _, i := range sc.LiveSlots() {
+		if d := sc.shards[i].comp.DeltaDepth(); d > depth {
+			depth = d
+		}
+	}
+	return depth
+}
+
+// ResidentBytes estimates the storage the sharded artifact keeps
+// reachable: every live shard's compiled estimate, the per-shard fact
+// slices (pair headers; the strings are shared with the caller's
+// database), and the router tables.
+func (sc *ShardedCompiled) ResidentBytes() int64 {
+	var b int64
+	for _, i := range sc.LiveSlots() {
+		sh := sc.shards[i]
+		b += sh.comp.ResidentBytes()
+		b += int64(sh.facts()) * 2 * stringHeaderBytes
+		b += int64(len(sh.l)+len(sh.e)+len(sh.r)) * sliceHeaderBytes
+	}
+	b += int64(len(sc.routeL)+len(sc.routeR)) * mapEntryBytes
+	for _, ov := range []*symOv{sc.lOv, sc.rOv} {
+		for ; ov != nil; ov = ov.prev {
+			b += int64(len(ov.m))*mapEntryBytes + sliceHeaderBytes
+		}
+	}
+	b += int64(len(sc.redirect)) * 4
+	return b
+}
+
+// ShardInfo is one live shard's summary, for stats surfaces.
+type ShardInfo struct {
+	Slot          int   `json:"slot"`
+	Facts         int   `json:"facts"`
+	LNodes        int   `json:"l_nodes"`
+	RNodes        int   `json:"r_nodes"`
+	DeltaDepth    int   `json:"delta_depth"`
+	ResidentBytes int64 `json:"resident_bytes"`
+}
+
+// ShardInfos summarizes the live shards in slot order.
+func (sc *ShardedCompiled) ShardInfos() []ShardInfo {
+	var out []ShardInfo
+	for _, i := range sc.LiveSlots() {
+		sh := sc.shards[i]
+		out = append(out, ShardInfo{
+			Slot:          i,
+			Facts:         sh.facts(),
+			LNodes:        sh.comp.NumL(),
+			RNodes:        sh.comp.NumR(),
+			DeltaDepth:    sh.comp.DeltaDepth(),
+			ResidentBytes: sh.comp.ResidentBytes(),
+		})
+	}
+	return out
+}
+
+// Extend returns a new sharded artifact covering the parent's facts
+// plus the delta, touching only the shards the delta reaches. The
+// parent is not modified and stays fully usable.
+//
+// The delta is grouped by connectivity: a union-find over (live
+// shards + fresh symbols) joins each pair's endpoints, so every group
+// lands whole in one shard and the partition invariant (no fact's
+// endpoints ever split across shards) is preserved. Per group:
+//
+//   - one live shard touched, delta within maxFrac of the resulting
+//     shard: the shard's artifact rolls forward with Compiled.Extend —
+//     cost O(shard), not O(database), which is the point of sharding;
+//   - one live shard touched, delta too large (a bulk load into one
+//     region): the shard alone is cold-rebuilt, scoped to its facts;
+//   - several live shards touched (the delta bridges regions): the
+//     members merge into the lowest slot — their facts concatenate in
+//     slot order, the union compiles cold, and the vacated slots
+//     redirect to the survivor;
+//   - no live shard touched (an entirely fresh region): the group
+//     joins the live shard currently holding the fewest facts.
+//
+// maxFrac <= 0 disables the delta path (touched shards always rebuild
+// cold, still scoped to the shard). Generation follows the Compiled
+// convention: copied from the parent, restamped by the caller.
+func (sc *ShardedCompiled) Extend(dL, dE, dR []Pair, maxFrac float64) (*ShardedCompiled, ShardExtendStats) {
+	child := &ShardedCompiled{
+		Generation: sc.Generation,
+		shards:     append([]*shard(nil), sc.shards...),
+		routeL:     sc.routeL,
+		routeR:     sc.routeR,
+		lOv:        sc.lOv,
+		rOv:        sc.rOv,
+		redirect:   append([]int32(nil), sc.redirect...),
+		ovDepth:    sc.ovDepth,
+	}
+	var stats ShardExtendStats
+	if len(dL)+len(dE)+len(dR) == 0 {
+		return child, stats
+	}
+
+	// Union-find over live slots (nodes 0..K-1; only live ones are ever
+	// resolved to) plus one node per fresh symbol, allocated on demand.
+	k := len(child.shards)
+	uf := graph.NewUnionFind(k + 2*(len(dL)+len(dE)+len(dR)))
+	nextNode := k
+	freshL := make(map[string]int)
+	freshR := make(map[string]int)
+	var freshLOrder, freshROrder []string
+	resolveL := func(name string) int {
+		if slot, ok := lookupSym(child.routeL, child.lOv, name); ok {
+			return int(child.redirect[slot])
+		}
+		if n, ok := freshL[name]; ok {
+			return n
+		}
+		n := nextNode
+		nextNode++
+		freshL[name] = n
+		freshLOrder = append(freshLOrder, name)
+		return n
+	}
+	resolveR := func(name string) int {
+		if slot, ok := lookupSym(child.routeR, child.rOv, name); ok {
+			return int(child.redirect[slot])
+		}
+		if n, ok := freshR[name]; ok {
+			return n
+		}
+		n := nextNode
+		nextNode++
+		freshR[name] = n
+		freshROrder = append(freshROrder, name)
+		return n
+	}
+	for _, p := range dL {
+		uf.Union(resolveL(p.From), resolveL(p.To))
+	}
+	for _, p := range dE {
+		uf.Union(resolveL(p.From), resolveR(p.To))
+	}
+	for _, p := range dR {
+		uf.Union(resolveR(p.From), resolveR(p.To))
+	}
+
+	// Partition the delta by group, groups ordered by first occurrence
+	// in the delta (deterministic in the input).
+	type group struct {
+		dl, de, dr []Pair
+		freshL     []string
+		freshR     []string
+	}
+	groups := make(map[int]*group)
+	var groupOrder []int
+	groupFor := func(node int) *group {
+		root := uf.Find(node)
+		gp, ok := groups[root]
+		if !ok {
+			gp = &group{}
+			groups[root] = gp
+			groupOrder = append(groupOrder, root)
+		}
+		return gp
+	}
+	for _, p := range dL {
+		gp := groupFor(resolveL(p.From))
+		gp.dl = append(gp.dl, p)
+	}
+	for _, p := range dE {
+		gp := groupFor(resolveL(p.From))
+		gp.de = append(gp.de, p)
+	}
+	for _, p := range dR {
+		gp := groupFor(resolveR(p.From))
+		gp.dr = append(gp.dr, p)
+	}
+	for _, name := range freshLOrder {
+		groupFor(freshL[name]).freshL = append(groupFor(freshL[name]).freshL, name)
+	}
+	for _, name := range freshROrder {
+		groupFor(freshR[name]).freshR = append(groupFor(freshR[name]).freshR, name)
+	}
+	// Live member slots per group root, ascending by construction.
+	members := make(map[int][]int)
+	for i := 0; i < k; i++ {
+		if int(child.redirect[i]) != i {
+			continue
+		}
+		root := uf.Find(i)
+		if _, ok := groups[root]; ok {
+			members[root] = append(members[root], i)
+		}
+	}
+
+	touched := make(map[int]bool)
+	for _, root := range groupOrder {
+		gp := groups[root]
+		live := members[root]
+		var target int
+		switch {
+		case len(live) == 0:
+			// An entirely fresh region: join the lightest live shard.
+			target = -1
+			for _, i := range child.LiveSlots() {
+				if target < 0 || child.shards[i].facts() < child.shards[target].facts() {
+					target = i
+				}
+			}
+			child.extendShard(target, gp.dl, gp.de, gp.dr, maxFrac, &stats)
+		case len(live) == 1:
+			target = live[0]
+			child.extendShard(target, gp.dl, gp.de, gp.dr, maxFrac, &stats)
+		default:
+			// Bridging delta: merge every member into the lowest slot.
+			target = live[0]
+			merged := &shard{}
+			for _, m := range live {
+				sh := child.shards[m]
+				merged.l = append(merged.l, sh.l...)
+				merged.e = append(merged.e, sh.e...)
+				merged.r = append(merged.r, sh.r...)
+				merged.nfacts += sh.nfacts
+			}
+			if len(gp.dl) > 0 {
+				merged.l = append(merged.l, gp.dl)
+			}
+			if len(gp.de) > 0 {
+				merged.e = append(merged.e, gp.de)
+			}
+			if len(gp.dr) > 0 {
+				merged.r = append(merged.r, gp.dr)
+			}
+			merged.nfacts += len(gp.dl) + len(gp.de) + len(gp.dr)
+			fl, fe, fr := merged.l.flat(), merged.e.flat(), merged.r.flat()
+			merged.comp = Compile(fl, fe, fr)
+			merged.l, merged.e, merged.r = factRope{fl}, factRope{fe}, factRope{fr}
+			child.shards[target] = merged
+			for _, m := range live[1:] {
+				child.shards[m] = &shard{comp: Compile(nil, nil, nil)}
+				// Re-point every slot that resolved to m (m itself plus
+				// any slot a previous merge had already folded into it).
+				for s, r := range child.redirect {
+					if int(r) == m {
+						child.redirect[s] = int32(target)
+					}
+				}
+			}
+			stats.Merges += len(live) - 1
+			stats.Rebuilt++
+		}
+		touched[target] = true
+		child.routeFresh(gp.freshL, gp.freshR, int32(target))
+	}
+
+	for i := range touched {
+		stats.Touched = append(stats.Touched, i)
+	}
+	sort.Ints(stats.Touched)
+	child.maybeFoldRoutes()
+	return child, stats
+}
+
+// extendShard rolls one slot forward by its group's delta: a delta
+// Extend when it fits under maxFrac, a scoped cold rebuild otherwise.
+func (sc *ShardedCompiled) extendShard(slot int, dl, de, dr []Pair, maxFrac float64, stats *ShardExtendStats) {
+	old := sc.shards[slot]
+	added := len(dl) + len(de) + len(dr)
+	next := &shard{
+		l:      appendChunk(old.l, dl),
+		e:      appendChunk(old.e, de),
+		r:      appendChunk(old.r, dr),
+		nfacts: old.nfacts + added,
+	}
+	frac := float64(added) / float64(next.nfacts)
+	if maxFrac > 0 && frac <= maxFrac {
+		next.comp = old.comp.Extend(dl, de, dr)
+		stats.DeltaExtended++
+	} else {
+		fl, fe, fr := next.l.flat(), next.e.flat(), next.r.flat()
+		next.comp = Compile(fl, fe, fr)
+		next.l, next.e, next.r = factRope{fl}, factRope{fe}, factRope{fr}
+		stats.Rebuilt++
+	}
+	if len(next.l)+len(next.e)+len(next.r) > shardChunkFold {
+		next.l = factRope{next.l.flat()}
+		next.e = factRope{next.e.flat()}
+		next.r = factRope{next.r.flat()}
+	}
+	sc.shards[slot] = next
+}
+
+// routeFresh routes a group's fresh symbols to their slot via the
+// overlay chains, prepending at most one new link per Extend.
+func (sc *ShardedCompiled) routeFresh(lNames, rNames []string, slot int32) {
+	if len(lNames) > 0 {
+		if sc.lOv == nil || !sc.ovOwnedL {
+			sc.lOv = &symOv{prev: sc.lOv, m: make(map[string]int32, len(lNames))}
+			sc.ovOwnedL = true
+			sc.ovDepth++
+		}
+		for _, name := range lNames {
+			sc.lOv.m[name] = slot
+		}
+	}
+	if len(rNames) > 0 {
+		if sc.rOv == nil || !sc.ovOwnedR {
+			sc.rOv = &symOv{prev: sc.rOv, m: make(map[string]int32, len(rNames))}
+			sc.ovOwnedR = true
+			sc.ovDepth++
+		}
+		for _, name := range rNames {
+			sc.rOv.m[name] = slot
+		}
+	}
+}
+
+// maybeFoldRoutes folds over-long router overlay chains into fresh
+// base maps — O(symbols), amortized across the routeFoldDepth appends
+// that grew the chain.
+func (sc *ShardedCompiled) maybeFoldRoutes() {
+	if sc.ovDepth <= routeFoldDepth {
+		return
+	}
+	fold := func(base map[string]int32, ov *symOv) map[string]int32 {
+		out := make(map[string]int32, len(base))
+		for name, slot := range base {
+			out[name] = slot
+		}
+		for ; ov != nil; ov = ov.prev {
+			for name, slot := range ov.m {
+				out[name] = slot
+			}
+		}
+		return out
+	}
+	sc.routeL = fold(sc.routeL, sc.lOv)
+	sc.routeR = fold(sc.routeR, sc.rOv)
+	sc.lOv, sc.rOv = nil, nil
+	sc.ovDepth = 0
+}
+

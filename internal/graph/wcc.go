@@ -1,0 +1,101 @@
+package graph
+
+// This file adds the weak-connectivity layer behind region sharding:
+// a query from source a can only ever touch the weakly connected
+// region of the symbol graph containing a (Fact 2's walks follow arcs
+// of L, E, and R, all of which stay inside one weak component), so
+// partitioning a database along weak components is answer-preserving
+// by construction. UnionFind is exported because core builds the
+// component structure over symbol ids while interning, before any
+// Digraph exists.
+
+// UnionFind is a disjoint-set forest over elements 0..n-1 with union
+// by size and path halving, the classic near-constant-amortized
+// structure. The zero value is unusable; construct with NewUnionFind.
+type UnionFind struct {
+	parent []int32
+	size   []int32
+	comps  int
+}
+
+// NewUnionFind returns a forest of n singleton sets.
+func NewUnionFind(n int) *UnionFind {
+	u := &UnionFind{parent: make([]int32, n), size: make([]int32, n), comps: n}
+	for i := range u.parent {
+		u.parent[i] = int32(i)
+		u.size[i] = 1
+	}
+	return u
+}
+
+// Find returns the representative of x's set, halving the path as it
+// walks so later finds shorten.
+func (u *UnionFind) Find(x int) int {
+	p := u.parent
+	for p[x] != int32(x) {
+		p[x] = p[p[x]] // path halving
+		x = int(p[x])
+	}
+	return x
+}
+
+// Union merges the sets of x and y, reporting whether they were
+// distinct. The larger set's representative wins; ties keep x's.
+func (u *UnionFind) Union(x, y int) bool {
+	rx, ry := u.Find(x), u.Find(y)
+	if rx == ry {
+		return false
+	}
+	if u.size[rx] < u.size[ry] {
+		rx, ry = ry, rx
+	}
+	u.parent[ry] = int32(rx)
+	u.size[rx] += u.size[ry]
+	u.comps--
+	return true
+}
+
+// Sets reports the number of disjoint sets remaining.
+func (u *UnionFind) Sets() int { return u.comps }
+
+// WCCResult is the weakly-connected-component decomposition of a
+// digraph, shaped like SCCResult: Comp maps each node to its
+// component, components are numbered 0..NumComps-1 in order of their
+// smallest node (so the numbering is deterministic), and Size counts
+// each component's nodes.
+type WCCResult struct {
+	Comp     []int
+	Size     []int
+	NumComps int
+}
+
+// WeaklyConnectedComponents decomposes the graph into its weakly
+// connected components: maximal node sets connected when every arc is
+// read as undirected. Runs in near-linear time via union-find over
+// the arc set. Isolated nodes form singleton components.
+func (g *Digraph) WeaklyConnectedComponents() WCCResult {
+	n := g.N()
+	u := NewUnionFind(n)
+	for v := 0; v < n; v++ {
+		for _, w := range g.out[v] {
+			u.Union(v, int(w))
+		}
+	}
+	res := WCCResult{Comp: make([]int, n)}
+	// Number components by smallest contained node: one ascending scan
+	// assigns a fresh id the first time each root is seen.
+	rootID := make(map[int]int, u.Sets())
+	for v := 0; v < n; v++ {
+		r := u.Find(v)
+		id, ok := rootID[r]
+		if !ok {
+			id = res.NumComps
+			rootID[r] = id
+			res.Size = append(res.Size, 0)
+			res.NumComps++
+		}
+		res.Comp[v] = id
+		res.Size[id]++
+	}
+	return res
+}

@@ -46,8 +46,13 @@ func (s *Service) Open(dir string) (*durable.RecoveryInfo, error) {
 	s.generation = info.Generation
 	// The snapshot's artifact is current only when no tail was
 	// replayed past it (durable.Open already nils it otherwise); with
-	// it in place the first query skips the compile entirely.
-	s.compiled = info.Compiled
+	// it in place the first query skips the compile entirely. A
+	// sharded service never adopts the snapshot's monolithic artifact
+	// — its first query compiles the sharded form from the recovered
+	// facts instead.
+	if !s.shardMode() {
+		s.compiled = info.Compiled
+	}
 	// Drop the empty sets New built: they must be rebuilt from the
 	// recovered slices (see ensureSets).
 	s.lSet, s.eSet, s.rSet = nil, nil, nil
@@ -103,8 +108,15 @@ func (s *Service) Checkpoint() error {
 	s.mu.RUnlock()
 	// Snapshot the compiled artifact too (building it if no query has
 	// yet): recovery then starts warm, and the build is shared with
-	// the serving path via the usual publish.
-	comp = s.compiledFor(comp, gen, l, e, r, nil)
+	// the serving path via the usual publish. A sharded service
+	// snapshots facts only (nil artifact — the snapshot format is
+	// monolithic) and recompiles its shards on the first query after
+	// recovery.
+	if s.shardMode() {
+		comp = nil
+	} else {
+		comp = s.compiledFor(comp, gen, l, e, r, nil)
+	}
 	start := time.Now()
 	err = s.dur.WriteSnapshot(durable.Snapshot{Gen: gen, L: l, E: e, R: r, Compiled: comp}, floor)
 	s.snapHist.observe(time.Since(start).Seconds())

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -79,8 +80,15 @@ type Config struct {
 	// estimate crosses this many bytes, whatever its depth — deep
 	// chains of small deltas and short chains of huge ones hit the
 	// same wall. Zero selects 256 MiB; negative disables the byte
-	// trigger.
+	// trigger. In sharded mode both this and MaxResidentCompiled are
+	// enforced per shard.
 	MaxCompiledBytes int64
+	// Shards partitions the compiled artifact by graph region into
+	// this many shards (core.CompileSharded): queries route to exactly
+	// one shard, appends delta-compile only the shards they touch, and
+	// chain collapse runs per shard. Values <= 1 serve the monolithic
+	// artifact.
+	Shards int
 }
 
 func (c Config) withDefaults() Config {
@@ -176,7 +184,11 @@ type Service struct {
 	// compiled is the build-once CSR artifact for the current
 	// generation, shared read-only by every query of that generation;
 	// AppendFacts drops it on a bump and the next miss recompiles.
+	// In sharded mode (cfg.Shards > 1) it stays nil and sharded plays
+	// the same role: one region-partitioned artifact per generation,
+	// rolled forward shard by shard across appends.
 	compiled *core.Compiled
+	sharded  *core.ShardedCompiled
 	// clock and hand are the CLOCK eviction state: the ring of resident
 	// cache keys and the sweep position. Both are guarded by mu.
 	clock []cacheKey
@@ -230,10 +242,16 @@ type Service struct {
 	deltaFallbacks atomic.Int64
 	// chainCollapses counts delta appends whose extended artifact was
 	// flattened before publish (retention cap, byte budget, or the
-	// maxDeltaChain hard bound).
+	// maxDeltaChain hard bound); in sharded mode, one per collapsed
+	// shard chain.
 	chainCollapses atomic.Int64
 	deltaHist      *histogram
 	lastAppendSpan atomic.Pointer[obs.Span]
+	// shardMerges counts shards absorbed by bridging appends (a merge
+	// of n shards counts n-1); byShard counts successful solves per
+	// shard slot. Both are zero-valued/nil on a monolithic service.
+	shardMerges atomic.Int64
+	byShard     *labeledCounters
 
 	queries     atomic.Int64
 	batches     atomic.Int64
@@ -259,7 +277,19 @@ type Service struct {
 // New creates a Service with an empty database.
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
+	var byShard *labeledCounters
+	if cfg.Shards > 1 {
+		// The shard slot space is closed at construction (slots never
+		// exceed the configured count, merges only vacate them), so the
+		// per-shard counters are a fixed labeled family like byMethod.
+		keys := make([]string, cfg.Shards)
+		for i := range keys {
+			keys[i] = strconv.Itoa(i)
+		}
+		byShard = newLabeledCounters(keys...)
+	}
 	return &Service{
+		byShard: byShard,
 		cfg:     cfg,
 		sem:     make(chan struct{}, cfg.Workers),
 		lSet:    make(map[core.Pair]bool),
@@ -283,6 +313,18 @@ func New(cfg Config) *Service {
 		),
 		byRegime: newLabeledCounters("regular", "acyclic", "cyclic"),
 	}
+}
+
+// shardMode reports whether the service serves region-sharded
+// artifacts (Config.Shards > 1) instead of one monolithic Compiled.
+func (s *Service) shardMode() bool { return s.cfg.Shards > 1 }
+
+// artifact is the query surface shared by the monolithic and sharded
+// compiled forms; the solve paths dispatch through it so the two
+// serving modes cannot drift.
+type artifact interface {
+	ChooseMethod(source string) core.Selection
+	Solve(source string, strategy core.Strategy, mode core.Mode, opts core.Options) (*core.Result, error)
 }
 
 // QueryRequest asks for the answers to ?- P(Source, Y). Strategy and
@@ -491,6 +533,7 @@ func (s *Service) query(ctx context.Context, req QueryRequest) (*QueryResponse, 
 	s.mu.RLock()
 	l, e, r, gen := s.l, s.e, s.r, s.generation
 	comp := s.compiled
+	shc := s.sharded
 	entry := s.cache[key]
 	s.mu.RUnlock()
 
@@ -517,12 +560,23 @@ func (s *Service) query(ctx context.Context, req QueryRequest) (*QueryResponse, 
 	cs.Set("hit", 0)
 	tr.End(cs, 0)
 
-	comp = s.compiledFor(comp, gen, l, e, r, tr)
+	// Resolve the artifact for this generation: the routed shard view
+	// in sharded mode, the monolithic Compiled otherwise. Either way
+	// the solve below runs against one immutable artifact.
+	var art artifact
+	shard := -1
+	if s.shardMode() {
+		sc := s.shardedFor(shc, gen, l, e, r, tr)
+		shard = sc.ShardOf(req.Source)
+		art = sc
+	} else {
+		art = s.compiledFor(comp, gen, l, e, r, tr)
+	}
 	opts := core.Options{Ctx: ctx, Trace: tr}
 	regime, reason := "", ""
 	if auto {
 		cls := tr.Start("classify", 0)
-		sel := comp.ChooseMethod(req.Source)
+		sel := art.ChooseMethod(req.Source)
 		if cls != nil {
 			cls.Name = "classify/" + sel.Regime.String()
 		}
@@ -532,12 +586,18 @@ func (s *Service) query(ctx context.Context, req QueryRequest) (*QueryResponse, 
 		regime, reason = sel.Regime.String(), sel.Reason
 	}
 	ss := tr.Start("solve", 0)
-	res, err := comp.Solve(req.Source, strategy, mode, opts)
+	if ss != nil && shard >= 0 {
+		ss.Set("shard", int64(shard))
+	}
+	res, err := art.Solve(req.Source, strategy, mode, opts)
 	if err != nil {
 		return nil, err
 	}
 	tr.End(ss, res.Stats.Retrievals)
 	s.retrievals.Add(res.Stats.Retrievals)
+	if shard >= 0 {
+		s.byShard.inc(strconv.Itoa(shard))
+	}
 
 	s.mu.Lock()
 	s.storeResultLocked(key, gen, &cacheEntry{
@@ -656,6 +716,7 @@ func (s *Service) QueryBatch(ctx context.Context, req BatchRequest) (*BatchRespo
 	s.mu.RLock()
 	l, e, r, gen := s.l, s.e, s.r, s.generation
 	comp := s.compiled
+	shc := s.sharded
 	entries := make(map[string]*cacheEntry, len(req.Sources))
 	for _, src := range req.Sources {
 		if _, seen := entries[src]; !seen {
@@ -705,8 +766,19 @@ func (s *Service) QueryBatch(ctx context.Context, req BatchRequest) (*BatchRespo
 		missing = append(missing, i)
 	}
 
+	// One artifact serves every miss. In sharded mode the items fan
+	// out across the shards in parallel below — each goroutine routes
+	// to its source's shard, so a batch spanning K regions keeps K
+	// independent artifacts busy with no cross-shard contention.
+	var art artifact
+	var sc *core.ShardedCompiled
 	if len(missing) > 0 {
-		comp = s.compiledFor(comp, gen, l, e, r, nil)
+		if s.shardMode() {
+			sc = s.shardedFor(shc, gen, l, e, r, nil)
+			art = sc
+		} else {
+			art = s.compiledFor(comp, gen, l, e, r, nil)
+		}
 	}
 	var wg sync.WaitGroup
 	for _, i := range missing {
@@ -739,12 +811,12 @@ func (s *Service) QueryBatch(ctx context.Context, req BatchRequest) (*BatchRespo
 			opts := core.Options{Ctx: ctx}
 			regime, reason := "", ""
 			if auto {
-				sel := comp.ChooseMethod(src)
+				sel := art.ChooseMethod(src)
 				st, md = sel.Strategy, sel.Mode
 				opts.SCCStep1 = sel.Options.SCCStep1
 				regime, reason = sel.Regime.String(), sel.Reason
 			}
-			res, err := comp.Solve(src, st, md, opts)
+			res, err := art.Solve(src, st, md, opts)
 			if err != nil {
 				s.queryErrors.Add(1)
 				if errors.Is(err, context.DeadlineExceeded) {
@@ -756,6 +828,9 @@ func (s *Service) QueryBatch(ctx context.Context, req BatchRequest) (*BatchRespo
 			s.cacheMisses.Add(1)
 			s.retrievals.Add(res.Stats.Retrievals)
 			s.retHist.observe(float64(res.Stats.Retrievals))
+			if sc != nil {
+				s.byShard.inc(strconv.Itoa(sc.ShardOf(src)))
+			}
 			s.byMethod.inc(methodKey(st.String(), md.String()))
 			if auto {
 				s.byRegime.inc(regime)
@@ -848,6 +923,33 @@ func (s *Service) compiledFor(comp *core.Compiled, gen uint64, l, e, r []core.Pa
 	s.mu.Lock()
 	if s.generation == gen && (s.compiled == nil || s.compiled.Generation != gen) {
 		s.compiled = c
+	}
+	s.mu.Unlock()
+	return c
+}
+
+// shardedFor is compiledFor's region-sharded analog: it returns the
+// sharded artifact for the snapshot taken at gen, building one with
+// CompileSharded when the cached artifact is stale. The build counts
+// as one (full) compile however many shards it produces — the
+// compiles metric tracks whole-database builds, and the per-shard
+// breakdown lives in the shards stats block.
+func (s *Service) shardedFor(shc *core.ShardedCompiled, gen uint64, l, e, r []core.Pair, tr *obs.Trace) *core.ShardedCompiled {
+	if shc != nil && shc.Generation == gen {
+		return shc
+	}
+	bs := tr.Start("compile", 0)
+	c := core.CompileSharded(l, e, r, core.ShardOpts{Shards: s.cfg.Shards})
+	c.SetGeneration(gen)
+	if bs != nil {
+		bs.Set("shards", int64(len(c.LiveSlots())))
+	}
+	tr.End(bs, 0)
+	s.compiles.Add(1)
+	s.fullCompiles.Add(1)
+	s.mu.Lock()
+	if s.generation == gen && (s.sharded == nil || s.sharded.Generation != gen) {
+		s.sharded = c
 	}
 	s.mu.Unlock()
 	return c
@@ -989,6 +1091,7 @@ func (s *Service) AppendFacts(req FactsRequest) (*FactsResponse, error) {
 	s.mu.RLock()
 	gen := s.generation
 	comp := s.compiled
+	shc := s.sharded
 	facts := len(s.l) + len(s.e) + len(s.r)
 	s.mu.RUnlock()
 	if added == 0 {
@@ -1018,9 +1121,15 @@ func (s *Service) AppendFacts(req FactsRequest) (*FactsResponse, error) {
 
 	// Roll the compiled artifact to the next generation while no
 	// query-visible lock is held; appendMu alone serializes the
-	// generation bump, so comp (if current) stays current until the
+	// generation bump, so comp/shc (if current) stay current until the
 	// publish below. nil means "drop and recompile lazily".
-	next := s.rollArtifact(comp, gen, facts, added, addL, addE, addR)
+	var next *core.Compiled
+	var nextSh *core.ShardedCompiled
+	if s.shardMode() {
+		nextSh = s.rollSharded(shc, gen, added, addL, addE, addR)
+	} else {
+		next = s.rollArtifact(comp, gen, facts, added, addL, addE, addR)
+	}
 
 	s.mu.Lock()
 	s.l = appendCOW(s.l, addL)
@@ -1032,6 +1141,7 @@ func (s *Service) AppendFacts(req FactsRequest) (*FactsResponse, error) {
 	// nil — the old artifact describes the old generation, so the next
 	// miss rebuilds from the new slices.
 	s.compiled = next
+	s.sharded = nextSh
 	s.invalidateGenerationLocked(gen)
 	s.mu.Unlock()
 
@@ -1155,6 +1265,66 @@ func (s *Service) shouldCollapse(next *core.Compiled) bool {
 	return s.cfg.MaxCompiledBytes > 0 && next.ResidentBytes() > s.cfg.MaxCompiledBytes
 }
 
+// rollSharded is rollArtifact's region-sharded analog: it rolls the
+// sharded artifact to the next generation by extending only the
+// shards the delta touches. There is no whole-database fallback — a
+// delta too large for one shard's Extend cold-rebuilds that shard
+// alone, and a bridging delta merges just the shards it connects — so
+// the artifact is never dropped once it exists, and amortized append
+// cost tracks shard size, not database size. Chain collapse runs per
+// touched shard: only a shard whose own chain trips the retention cap
+// pays a Flatten, scoped to its facts.
+//
+// Accounting: each delta-extended shard is one delta compile, each
+// cold-rebuilt shard one full compile (compiles == full + delta
+// holds), each absorbed shard one merge. Collapses only ever fire on
+// a shard this append delta-extended (a rebuilt shard publishes at
+// depth 0), preserving collapses <= delta compiles. Fallbacks stay
+// monolithic-only: nothing is ever dropped here.
+func (s *Service) rollSharded(shc *core.ShardedCompiled, gen uint64, added int, addL, addE, addR []core.Pair) *core.ShardedCompiled {
+	if s.cfg.DeltaMaxFrac < 0 || shc == nil || shc.Generation != gen {
+		return nil
+	}
+	tr := obs.New("append", 0)
+	sp := tr.Start("delta-compile", 0)
+	started := time.Now()
+	next, st := shc.Extend(addL, addE, addR, s.cfg.DeltaMaxFrac)
+	next.SetGeneration(gen + 1)
+	s.deltaHist.observe(time.Since(started).Seconds())
+	if sp != nil {
+		sp.Set("added", int64(added))
+		sp.Set("shards_touched", int64(len(st.Touched)))
+		sp.Set("merges", int64(st.Merges))
+		sp.Set("depth", int64(next.MaxDeltaDepth()))
+	}
+	tr.End(sp, 0)
+	s.compiles.Add(int64(st.DeltaExtended + st.Rebuilt))
+	s.deltaCompiles.Add(int64(st.DeltaExtended))
+	s.fullCompiles.Add(int64(st.Rebuilt))
+	s.shardMerges.Add(int64(st.Merges))
+	for _, slot := range st.Touched {
+		comp := next.ShardArtifact(slot)
+		if comp.DeltaDepth() == 0 || !s.shouldCollapse(comp) {
+			continue
+		}
+		csp := tr.Start("collapse", 0)
+		cstart := time.Now()
+		flat := comp.Flatten()
+		if csp != nil {
+			csp.Set("shard", int64(slot))
+			csp.Set("depth", int64(comp.DeltaDepth()))
+			csp.Set("bytes_before", comp.ResidentBytes())
+			csp.Set("bytes_after", flat.ResidentBytes())
+			csp.Set("elapsed_us", time.Since(cstart).Microseconds())
+		}
+		tr.End(csp, 0)
+		next.SetShardArtifact(slot, flat)
+		s.chainCollapses.Add(1)
+	}
+	s.lastAppendSpan.Store(tr.Finish(0))
+	return next
+}
+
 // ensureSets materializes the membership sets from the fact slices if
 // they are still nil after a recovery. setsMu guards the build; once
 // the maps are non-nil they are never rebuilt, and from then on only
@@ -1257,6 +1427,25 @@ type Stats struct {
 	// the process heap watermark (see rollArtifact and the
 	// MaxResidentCompiled/MaxCompiledBytes knobs).
 	Memory MemoryStats `json:"memory"`
+	// Shards reports the region-sharded artifact state; nil on a
+	// monolithic service (Config.Shards <= 1).
+	Shards *ShardsStats `json:"shards,omitempty"`
+}
+
+// ShardsStats is the region-sharding block of Stats.
+type ShardsStats struct {
+	// Configured echoes Config.Shards; Live counts the slots still
+	// holding a region after bridging appends merged some away.
+	Configured int `json:"configured"`
+	Live       int `json:"live"`
+	// Merges counts shards absorbed into a neighbor by bridging
+	// appends since startup.
+	Merges int64 `json:"merges"`
+	// MaxDeltaDepth is the deepest per-shard Extend chain in the live
+	// artifact (Memory.ResidentCompiled mirrors it as depth+1).
+	MaxDeltaDepth int `json:"max_delta_depth"`
+	// Shards lists the live slots of the current artifact.
+	Shards []core.ShardInfo `json:"shards"`
 }
 
 // DeltaCompileStats is the delta-compilation block of Stats.
@@ -1350,9 +1539,27 @@ func (s *Service) Stats() Stats {
 	fl, fe, fr := len(s.l), len(s.e), len(s.r)
 	entries := len(s.cache)
 	comp := s.compiled
+	shc := s.sharded
 	s.mu.RUnlock()
 	depth, resident, compiledBytes := 0, 0, int64(0)
-	if comp != nil {
+	var shards *ShardsStats
+	if s.shardMode() {
+		shards = &ShardsStats{
+			Configured: s.cfg.Shards,
+			Merges:     s.shardMerges.Load(),
+		}
+		if shc != nil {
+			// ResidentBytes and ShardInfos walk the artifact, so they
+			// run on the snapshot outside the lock; the artifact is
+			// immutable once published.
+			depth = shc.MaxDeltaDepth()
+			resident = depth + 1
+			compiledBytes = shc.ResidentBytes()
+			shards.Live = len(shc.LiveSlots())
+			shards.MaxDeltaDepth = depth
+			shards.Shards = shc.ShardInfos()
+		}
+	} else if comp != nil {
 		// ResidentBytes walks the artifact, so it runs on the snapshot
 		// outside the lock; the artifact is immutable once published.
 		depth = comp.DeltaDepth()
@@ -1411,5 +1618,7 @@ func (s *Service) Stats() Stats {
 			MaxResidentCompiled: s.cfg.MaxResidentCompiled,
 			MaxCompiledBytes:    s.cfg.MaxCompiledBytes,
 		},
+
+		Shards: shards,
 	}
 }

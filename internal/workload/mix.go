@@ -101,6 +101,12 @@ type MixConfig struct {
 	// GhostFrac of query sources name a node absent from the database
 	// (empty answer set, still a 200).
 	GhostFrac float64
+	// SourceSkew > 1 draws query sources from a Zipf distribution with
+	// that exponent instead of uniformly: low-ranked nodes dominate
+	// the stream, concentrating traffic on few graph regions — the
+	// shape that makes region-sharded serving (and result caching)
+	// pay. Values <= 1 keep the uniform draw.
+	SourceSkew float64
 
 	// BatchMax bounds batch size (min 2). Zero selects 16.
 	BatchMax int
@@ -219,6 +225,15 @@ var modes = []string{"independent", "integrated"}
 func (m *Mix) source() string {
 	if m.rng.Float64() < m.cfg.GhostFrac {
 		return fmt.Sprintf("ghost%d", m.rng.Intn(1000))
+	}
+	if m.cfg.SourceSkew > 1 && len(m.nodes) > 1 {
+		// A fresh Zipf per draw keeps the stream a pure function of
+		// the rng state even as appends grow the node set (rand.Zipf
+		// memoizes its imax). Rank 0 is the hottest node; appends
+		// push fresh roots to the back, so the hot set stays the base
+		// instance's early nodes.
+		z := rand.NewZipf(m.rng, m.cfg.SourceSkew, 1, uint64(len(m.nodes)-1))
+		return m.nodes[z.Uint64()]
 	}
 	return m.nodes[m.rng.Intn(len(m.nodes))]
 }

@@ -165,3 +165,59 @@ func TestMixAppendsDisjointAndAcyclic(t *testing.T) {
 		}
 	}
 }
+
+// TestMixSourceSkew pins the skewed-source draw: the stream stays
+// seed-replayable (a fresh Zipf per draw is still a pure function of
+// the rng state), skew concentrates queries on a small hot set far
+// beyond the uniform draw, and skew <= 1 leaves the uniform stream
+// untouched.
+func TestMixSourceSkew(t *testing.T) {
+	skewed := func(seed int64, skew float64) MixConfig {
+		cfg := soakCfg(seed)
+		cfg.SourceSkew = skew
+		return cfg
+	}
+
+	a, b := NewMix(skewed(42, 1.3)), NewMix(skewed(42, 1.3))
+	for i := 0; i < 2000; i++ {
+		oa, ob := a.Next(), b.Next()
+		if !reflect.DeepEqual(oa, ob) {
+			t.Fatalf("skewed op %d diverged:\n%+v\n%+v", i, oa, ob)
+		}
+	}
+
+	// Concentration: count how often the single hottest source shows
+	// up among singleton queries, skewed vs uniform.
+	top := func(skew float64) (max, total int) {
+		m := NewMix(skewed(7, skew))
+		counts := map[string]int{}
+		for i := 0; i < 8000; i++ {
+			if op := m.Next(); op.Kind == OpQuery {
+				counts[op.Source]++
+				total++
+			}
+		}
+		for _, c := range counts {
+			if c > max {
+				max = c
+			}
+		}
+		return max, total
+	}
+	hotSkew, totalSkew := top(1.5)
+	hotUni, totalUni := top(0)
+	if float64(hotSkew)/float64(totalSkew) < 3*float64(hotUni)/float64(totalUni) {
+		t.Fatalf("skew 1.5 barely concentrates: hottest %d/%d vs uniform %d/%d",
+			hotSkew, totalSkew, hotUni, totalUni)
+	}
+
+	// Skew at or below 1 must not perturb the uniform stream: the two
+	// configs draw identically, op for op.
+	u, s := NewMix(soakCfg(11)), NewMix(skewed(11, 1.0))
+	for i := 0; i < 1000; i++ {
+		ou, os := u.Next(), s.Next()
+		if !reflect.DeepEqual(ou, os) {
+			t.Fatalf("skew 1.0 perturbed the uniform stream at op %d", i)
+		}
+	}
+}
